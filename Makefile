@@ -1,0 +1,26 @@
+# PerfCloud reproduction — developer entry points.
+
+PY ?= python
+
+.PHONY: install test bench bench-full examples figures clean
+
+install:
+	pip install -e .
+
+test:
+	$(PY) -m pytest tests/
+
+bench:
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_FULL_SCALE=1 $(PY) -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex || exit 1; done
+
+figures:
+	$(PY) -m repro list
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +; rm -rf .pytest_cache .benchmarks

@@ -1,0 +1,37 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Each benchmark runs one paper figure's experiment under pytest-benchmark
+(single round — these are simulations, not microbenchmarks), prints the
+reproduced series next to the paper's reported values, and asserts the
+qualitative *shape*: who wins, roughly by how much, where thresholds and
+crossovers fall.  EXPERIMENTS.md archives a full run.
+
+Scale: figure runners default to laptop-scale dimensions.  Set
+``REPRO_FULL_SCALE=1`` to run the paper's exact sizes (much slower).
+"""
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_FULL_SCALE", "0") == "1"
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run a callable exactly once under pytest-benchmark timing."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1, warmup_rounds=0)
+
+    return runner
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 74)
+    print(title)
+    print("=" * 74)

@@ -1,0 +1,253 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+1. **Control law** — CUBIC (Eq. 1) vs. the naive bang-bang capping the
+   paper warns "may lead to oscillatory and unstable system behavior"
+   (§III-C).  We measure throttle flapping and the cost borne by the
+   antagonist for comparable victim protection.
+2. **Missing-sample policy** — covered from the identification side in
+   ``test_fig06_cpu_antagonist.py``; here we quantify it on synthetic
+   series for the full sparsity range.
+3. **EWMA smoothing** — raw 5-second samples vs. the paper's smoothing:
+   smoothing suppresses false-positive detections on a healthy host.
+"""
+
+import numpy as np
+
+from conftest import banner
+
+from repro.core.adhoc import AdHocController
+from repro.core.config import PerfCloudConfig
+from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.experiments.report import render_table
+from repro.metrics.correlation import MissingPolicy, aligned_pearson
+from repro.metrics.timeseries import TimeSeries
+from repro.workloads.datagen import teragen
+from repro.workloads.puma import terasort
+
+
+def _control_run(controller_factory, seed):
+    testbed = build_testbed(
+        TestbedConfig(seed=seed, num_workers=6, framework="mapreduce",
+                      antagonists=(("fio", None),))
+    )
+    testbed.deploy_perfcloud(controller_factory=controller_factory)
+    job = testbed.jobtracker.submit(terasort(), teragen(960), 15)
+    assert run_until(testbed.sim, lambda: job.completion_time is not None, 8000)
+    nm = testbed.node_manager()
+    fio = testbed.antagonist_drivers["fio"]
+    # Flapping: transitions between throttled and released actuations.
+    actions = [c for (t, vm, res, c) in nm.actions if vm == "fio" and res == "io"]
+    flips = sum(
+        1 for a, b in zip(actions, actions[1:])
+        if (a is None) != (b is None)
+    )
+    return job.completion_time, flips, fio.iops.total / testbed.sim.now
+
+
+def test_ablation_control_law(once):
+    def run_all(factory):
+        return [_control_run(factory, s) for s in (3, 7, 11)]
+
+    cubic_runs = once(run_all, None)  # default CUBIC
+    adhoc_runs = run_all(lambda: AdHocController(PerfCloudConfig()))
+
+    banner("Ablation: CUBIC (Eq. 1) vs. ad-hoc bang-bang capping")
+    rows = []
+    for name, runs in (("cubic", cubic_runs), ("ad-hoc", adhoc_runs)):
+        jct = np.mean([r[0] for r in runs])
+        flips = np.mean([r[1] for r in runs])
+        fio_tput = np.mean([r[2] for r in runs])
+        rows.append([name, f"{jct:.0f}s", f"{flips:.1f}", f"{fio_tput:.0f}"])
+    print(render_table(
+        ["controller", "victim JCT", "throttle flips", "fio ops/s"], rows))
+    print("\npaper §III-C: ad-hoc capping oscillates; CUBIC is stable")
+
+    cubic_flips = np.mean([r[1] for r in cubic_runs])
+    adhoc_flips = np.mean([r[1] for r in adhoc_runs])
+    # The bang-bang law flaps strictly more than CUBIC's damped probing.
+    assert adhoc_flips > cubic_flips
+    # Victim protection is comparable (CUBIC no more than ~25% worse).
+    cubic_jct = np.mean([r[0] for r in cubic_runs])
+    adhoc_jct = np.mean([r[0] for r in adhoc_runs])
+    assert cubic_jct <= adhoc_jct * 1.25
+
+
+def test_ablation_missing_policy(once):
+    """Sparse suspects score spuriously under pairwise omission."""
+
+    def score(sparsity, policy, seed=0):
+        rng = np.random.default_rng(seed)
+        victim = TimeSeries()
+        suspect = TimeSeries()
+        for i in range(40):
+            t = 5.0 * (i + 1)
+            level = 5.0 + 10.0 * (i % 8 < 4)  # alternating contention
+            victim.append(t, level + rng.normal(0, 0.5))
+            # The suspect is INNOCENT: its activity is rare and random.
+            if rng.random() > sparsity:
+                suspect.append(t, abs(rng.normal(5.0, 2.0)))
+        return aligned_pearson(victim, suspect, window=40, policy=policy)
+
+    def sweep():
+        out = {}
+        for sparsity in (0.0, 0.5, 0.8, 0.95):
+            zero = np.mean([abs(score(sparsity, MissingPolicy.ZERO, s))
+                            for s in range(20)])
+            omit = np.mean([abs(score(sparsity, MissingPolicy.OMIT, s))
+                            for s in range(20)])
+            out[sparsity] = (zero, omit)
+        return out
+
+    result = once(sweep)
+    banner("Ablation: |corr| of an INNOCENT suspect vs. sample sparsity")
+    rows = [
+        [f"{sp:.0%}", f"{z:.2f}", f"{o:.2f}"]
+        for sp, (z, o) in result.items()
+    ]
+    print(render_table(["samples missing", "missing-as-zero", "omit"], rows))
+    print("\npaper §III-B: zero-filling avoids over-emphasizing "
+          "similarities computed over little data")
+
+    # At high sparsity, omission inflates the innocent suspect's score
+    # relative to zero-filling.
+    z95, o95 = result[0.95]
+    assert o95 > z95
+    # Neither policy frames the innocent suspect when data is plentiful.
+    z0, o0 = result[0.0]
+    assert z0 < 0.5 and o0 < 0.5
+
+
+def test_ablation_ewma_smoothing(once):
+    """Raw samples trip the I/O threshold on a healthy host; EWMA doesn't."""
+
+    def false_positives(alpha):
+        testbed = build_testbed(
+            TestbedConfig(seed=5, num_workers=6, framework="mapreduce")
+        )
+        testbed.deploy_perfcloud(
+            PerfCloudConfig(ewma_alpha=alpha, h_io=1e9, h_cpi=1e9)
+        )
+        job = testbed.jobtracker.submit(terasort(), teragen(960), 15)
+        assert run_until(testbed.sim,
+                         lambda: job.completion_time is not None, 8000)
+        sig = testbed.node_manager().detector.signal("app", "io")
+        vals = sig.values()
+        return float(np.max(vals)), float(np.mean(vals > 10.0))
+
+    smoothed = once(false_positives, 0.7)
+    raw = false_positives(1.0)
+
+    banner("Ablation: EWMA smoothing of the 5-second samples (healthy host)")
+    print(render_table(
+        ["setting", "peak iowait std", "fraction above threshold"],
+        [["ewma alpha=0.7", f"{smoothed[0]:.2f}", f"{smoothed[1]:.2f}"],
+         ["raw (alpha=1.0)", f"{raw[0]:.2f}", f"{raw[1]:.2f}"]],
+    ))
+
+    # Smoothing can only damp the healthy-baseline peaks.
+    assert smoothed[0] <= raw[0] + 1e-9
+    # And the smoothed healthy signal must never cross the threshold.
+    assert smoothed[1] == 0.0
+
+
+def test_ablation_numa_isolation(once):
+    """Future-work ablation (§IV-D2): NUMA-aware VM mapping.
+
+    On a 2-socket host, pinning the protected application to socket 0 and
+    the antagonists elsewhere removes LLC/bandwidth interference at the
+    source — complementary to (and here compared against) throttling.
+    """
+    from dataclasses import replace
+
+    from repro.hardware.numa import numa_isolate
+    from repro.hardware.specs import R630
+    from repro.virt.cluster import Cluster
+    from repro.cloud.nova import CloudManager
+    from repro.frameworks.hdfs import HdfsCluster
+    from repro.frameworks.spark.driver import SparkScheduler
+    from repro.sim.engine import Simulator
+    from repro.virt.vm import Priority
+    from repro.workloads.antagonists import StreamBenchmark
+    from repro.workloads.datagen import sparkbench_synthetic
+    from repro.workloads.sparkbench import logistic_regression
+
+    def run(isolate, seed):
+        spec = replace(R630, numa_sockets=2)
+        sim = Simulator(dt=1.0, seed=seed)
+        cluster = Cluster(sim, default_spec=spec)
+        cluster.add_host("h0")
+        cloud = CloudManager(cluster)
+        workers = [
+            cloud.boot(f"w{i}", host="h0", priority=Priority.HIGH, app_id="app")
+            for i in range(6)
+        ]
+        hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+        sched = SparkScheduler(sim, workers, hdfs)
+        job = sched.submit(logistic_regression(), sparkbench_synthetic("lr", 640))
+        vm = cloud.boot("stream", "m1.2xlarge", host="h0")
+        vm.attach_workload(StreamBenchmark())
+        if isolate:
+            numa_isolate(cluster.hosts["h0"].memsys,
+                         [w.name for w in workers], ["stream"])
+        assert run_until(sim, lambda: job.completion_time is not None, 8000)
+        return job.completion_time
+
+    def sweep():
+        seeds = (3, 7, 11)
+        inter = np.mean([run(False, s) for s in seeds])
+        iso = np.mean([run(True, s) for s in seeds])
+        return inter, iso
+
+    inter, iso = once(sweep)
+    banner("Ablation: NUMA-aware VM mapping (2-socket host, Spark LR + STREAM)")
+    print(render_table(
+        ["placement", "mean JCT"],
+        [["interleaved (round-robin)", f"{inter:.0f}s"],
+         ["isolated (app on socket 0)", f"{iso:.0f}s"]],
+    ))
+    print("\npaper §IV-D2: NUMA-aware mapping is a complementary future-work "
+          "optimization")
+    # Isolation removes most of the memory interference.
+    assert iso < inter * 0.75
+
+
+def test_ablation_beta_gamma_sweep(once):
+    """Sensitivity of Eq. 1's tuned constants (paper sets beta=0.8,
+    gamma=0.005 empirically).
+
+    Expectation: gamma controls the recovery horizon (K ~ gamma^(-1/3)) —
+    smaller gamma protects the victim longer but starves the antagonist;
+    the paper's operating point sits in the middle of the trade-off.
+    """
+    from repro.experiments.sweeps import analytic_sweep, closed_loop_sweep
+
+    analytic = analytic_sweep()
+    points = once(closed_loop_sweep)
+
+    banner("Ablation: CUBIC (beta, gamma) sensitivity")
+    rows = [
+        [f"{p.beta}", f"{p.gamma}", f"{p.recovery_intervals:.1f}",
+         f"{p.victim_jct:.0f}s", f"{p.antagonist_ops_per_s:.0f}"]
+        for p in points
+    ]
+    print(render_table(
+        ["beta", "gamma", "K (intervals)", "victim JCT", "fio ops/s"], rows))
+    print("\npaper operating point: beta=0.8, gamma=0.005 (K ~ 5.4)")
+
+    # Analytic: K decreases with gamma, for every beta.
+    by_beta = {}
+    for p in analytic:
+        by_beta.setdefault(p.beta, []).append((p.gamma, p.recovery_intervals))
+    for entries in by_beta.values():
+        entries.sort()
+        ks = [k for _, k in entries]
+        assert ks == sorted(ks, reverse=True)
+
+    # Closed loop: at fixed beta, slower probing (smaller gamma) never
+    # hurts the victim and never helps the antagonist.
+    for beta in {p.beta for p in points}:
+        row = sorted((p.gamma, p) for p in points if p.beta == beta)
+        slowest = row[0][1]     # smallest gamma
+        fastest = row[-1][1]
+        assert slowest.victim_jct <= fastest.victim_jct * 1.15
+        assert slowest.antagonist_ops_per_s <= fastest.antagonist_ops_per_s * 1.15

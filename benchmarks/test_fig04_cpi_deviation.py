@@ -1,0 +1,38 @@
+"""Fig. 4 — std of CPI as the shared-processor contention signal.
+
+Paper: the peak CPI deviation across an application's VMs stays below 1
+when running alone and rises well above 1 with a colocated STREAM VM;
+the deviation magnitude tracks the degradation, and Spark feels it more
+than MapReduce (§III-A2).
+"""
+
+from conftest import banner, full_scale
+
+from repro.experiments import figures
+from repro.experiments.report import render_table
+
+
+def test_fig4_cpi_deviation(once):
+    if full_scale():
+        result = once(
+            figures.fig4,
+            mr_benchmarks=("terasort", "wordcount", "inverted-index"),
+            spark_benchmarks=("logistic-regression", "svm", "page-rank"),
+        )
+    else:
+        result = once(figures.fig4)
+
+    banner("Fig. 4: std of CPI across the application's VMs (threshold 1)")
+    rows = [
+        [name, f"{r.alone_peak:.2f}", f"{r.coloc_peak:.2f}"]
+        for name, r in result.per_benchmark.items()
+    ]
+    print(render_table(["benchmark", "peak alone", "peak +STREAM"], rows))
+    print("\npaper: alone < 1 for all; colocated > 1 for all")
+
+    # Shape assertions ----------------------------------------------------
+    assert result.all_alone_below_one
+    assert result.all_coloc_above_one
+    # Healthy margin below the threshold when alone (no false positives).
+    for r in result.per_benchmark.values():
+        assert r.alone_peak < 0.7

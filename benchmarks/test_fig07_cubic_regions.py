@@ -1,0 +1,41 @@
+"""Fig. 7 — the three regions of the Eq. 1 cubic cap-growth function.
+
+Paper: after a multiplicative decrease, the cap grows steeply back toward
+C_max (initial growth), flattens around it (plateau — a returning demand
+surge finds the antagonist still contained), then accelerates to probe
+for headroom (probing region).
+"""
+
+from conftest import banner
+
+from repro.experiments import figures
+from repro.experiments.report import render_table
+
+
+def test_fig7_cubic_growth_regions(once):
+    result = once(figures.fig7, intervals=12)
+
+    banner("Fig. 7: Eq. 1 growth after a decrease (beta=0.8, gamma=0.005)")
+    rows = [
+        [t, f"{cap:.3f}", result.region(t)]
+        for t, cap in zip(result.intervals, result.caps)
+    ]
+    print(render_table(["interval", "normalized cap", "region"], rows))
+    print(f"\nK = {result.k:.2f} intervals (~{result.k * 5:.0f}s at the "
+          "5s cadence)")
+
+    caps = result.caps
+    # Starts from the post-decrease level (1 - beta) * C_max.
+    import pytest
+    assert caps[0] == pytest.approx((1 - result.beta) * 1.0)
+    # Monotone non-decreasing throughout.
+    assert all(b >= a for a, b in zip(caps, caps[1:]))
+    # Region structure: growth slope >> plateau slope << probing slope.
+    k = result.k
+    growth_slope = caps[1] - caps[0]
+    plateau_slope = caps[int(k)] - caps[int(k) - 1]
+    probe_slope = caps[-1] - caps[-2]
+    assert growth_slope > 4 * plateau_slope
+    assert probe_slope > 4 * plateau_slope
+    # The plateau straddles C_max.
+    assert abs(caps[int(round(k))] - 1.0) < 0.05

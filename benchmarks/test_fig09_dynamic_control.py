@@ -1,0 +1,81 @@
+"""Fig. 9 — dynamic resource control on the small-scale testbed.
+
+Paper: Spark logistic regression on a 12-node virtual cluster colocated
+with fio + STREAM (+ sysbench decoys).  PerfCloud cuts the deviation
+signals and improves JCT by ~31% over the default system; a static
+20% cap improves ~33% but keeps bleeding the antagonists even when the
+high-priority application no longer needs protection.
+"""
+
+import numpy as np
+
+from conftest import banner, full_scale
+
+from repro.experiments import figures
+from repro.experiments.report import render_table
+
+
+def test_fig9_dynamic_control(once):
+    seeds = (3, 7, 11) if full_scale() else (3, 7)
+    result = once(figures.fig9, seeds=seeds)
+
+    banner("Fig. 9: default vs. static 20% caps vs. PerfCloud (Spark LR)")
+    rows = []
+    for scheme in ("default", "static", "perfcloud"):
+        w = result.antagonist_work[scheme]
+        rows.append([
+            scheme,
+            f"{result.jct[scheme]:.0f}s",
+            f"{result.improvement[scheme] * 100:+.0f}%",
+            f"{w['fio_ops'] * 100:.0f}%",
+            f"{w['post_fio_ops'] * 100:.0f}%",
+            f"{w['post_stream_bytes'] * 100:.0f}%",
+        ])
+    print(render_table(
+        ["scheme", "JCT", "vs default",
+         "fio tput (job)", "fio tput (after)", "stream tput (after)"],
+        rows,
+    ))
+    print("\npaper Fig. 9c: PerfCloud +31%, static +33% (but static keeps "
+          "throttling forever)")
+
+    # Shape assertions ----------------------------------------------------
+    assert result.improvement["perfcloud"] > 0.15
+    assert result.improvement["static"] > 0.15
+    # Static capping keeps hurting the antagonists after the job is gone;
+    # PerfCloud releases them (post-job throughput back near default's).
+    post_static = result.antagonist_work["static"]["post_fio_ops"]
+    post_pc = result.antagonist_work["perfcloud"]["post_fio_ops"]
+    assert post_static < 0.5
+    assert post_pc > 0.8
+    # The deviation signals were tamed: peak iowait std under PerfCloud is
+    # well below the default run's peak.
+    peak_default = max(v for _, v in result.io_signal["default"])
+    peak_pc = max(v for _, v in result.io_signal["perfcloud"])
+    assert peak_pc <= peak_default
+    # Detection happened at all in the default run.
+    assert peak_default > 10.0
+
+
+def test_fig10_cap_timeline(once):
+    result = once(figures.fig10, seed=7)
+
+    banner("Fig. 10: normalized caps applied to fio and STREAM over time")
+    for (vm, resource), series in sorted(result.cap_series.items()):
+        pts = [(t, v) for t, v in series if v == v][:14]
+        line = " ".join(f"{t:.0f}s:{v:.2f}" for t, v in pts)
+        print(f"  {vm:8s} {resource:3s}  {line}")
+    print(f"\nthrottle episodes (multiplicative decreases to the floor): "
+          f"{result.throttle_episodes}")
+    print("paper Fig. 10: throttle ~15-40s (growth+plateau), probing after "
+          "40s, fio re-throttled ~65s")
+
+    # Shape assertions ----------------------------------------------------
+    assert result.throttle_episodes >= 1
+    # fio's I/O cap shows the full CUBIC shape: a value near the decrease
+    # floor and later values above 1.0 (probing) before release.
+    fio_io = result.cap_series.get(("fio", "io"))
+    assert fio_io is not None
+    vals = [v for _, v in fio_io if v == v]
+    assert min(vals) <= 0.25
+    assert max(vals) > 1.0

@@ -1,0 +1,53 @@
+"""Fig. 12 — performance variability across repeated executions.
+
+Paper: terasort (50 tasks) and Spark LR (50 tasks/stage) repeated 30
+times with randomly placed antagonists; PerfCloud yields both the lowest
+median normalized JCT and the tightest spread, because unlike LATE and
+Dolly its effectiveness does not depend on where the antagonists landed.
+"""
+
+from conftest import banner, full_scale
+
+from repro.experiments import figures
+from repro.experiments.report import render_table
+
+SCHEMES = ("late", "dolly-2", "perfcloud")
+
+
+def test_fig12_variability(once):
+    if full_scale():
+        result = once(
+            figures.fig12,
+            repeats=30,
+            schemes=("late", "dolly-4", "perfcloud"),
+            num_hosts=15,
+            num_workers=150,
+            num_antagonist_pairs=15,
+        )
+    else:
+        result = once(figures.fig12, repeats=8, schemes=SCHEMES,
+                      num_hosts=4, num_workers=24, tasks=20,
+                      num_antagonist_pairs=2)
+
+    banner("Fig. 12: normalized JCT spread over repeated executions")
+    for kind, data in (("terasort", result.terasort), ("spark LR", result.logreg)):
+        rows = [
+            [s, f"{d['median']:.2f}", f"{d['iqr']:.2f}",
+             f"{d['min']:.2f}", f"{d['max']:.2f}", d["n"]]
+            for s, d in data.items()
+        ]
+        print(render_table(
+            [kind, "median", "IQR", "min", "max", "n"], rows))
+        print()
+
+    # Shape assertions ----------------------------------------------------
+    # The robust paper claim at scale-model size is the *median*: PerfCloud
+    # completes repeats consistently faster.  The spread (IQR) claim holds
+    # in the paper's 15-server regime but is noisy at 4 servers with 8
+    # repeats, so it is reported above and asserted only loosely.
+    for data in (result.terasort, result.logreg):
+        pc = data["perfcloud"]
+        others = [data[s] for s in SCHEMES if s != "perfcloud"]
+        assert pc["median"] <= min(o["median"] for o in others) + 0.05
+        assert pc["min"] <= min(o["min"] for o in others) + 0.05
+        assert pc["iqr"] <= max(o["iqr"] for o in others) + 0.40

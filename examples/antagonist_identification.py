@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Antagonist identification case study (paper §III-B, Figs. 5 and 6).
+
+Two scenarios:
+
+1. A MapReduce terasort colocated with an *episodic* fio random-read VM
+   plus two decoys (sysbench oltp and sysbench cpu).  PerfCloud must
+   single out fio by correlating the victim's iowait-ratio deviation
+   with each suspect's I/O throughput.
+
+2. A Spark logistic regression colocated with *two small STREAM VMs*
+   that only hurt as a group, plus the same decoys.  Here the victim
+   signal is the CPI deviation and the suspect signal is the LLC miss
+   rate — and the paper's missing-as-zero alignment policy is what keeps
+   the verdict correct (compare the OMIT column!).
+
+Run:  python examples/antagonist_identification.py
+"""
+
+from repro.experiments import figures
+from repro.experiments.report import render_table
+from repro.metrics.correlation import MissingPolicy
+
+
+def main() -> None:
+    print("Scenario 1: who is thrashing the disk under terasort?")
+    print("(fio runs in 30s-on/20s-off episodes; decoys run continuously)\n")
+    r = figures.fig5()
+    windows = sorted(next(iter(r.correlations_by_window.values())))
+    rows = []
+    for suspect, corr in sorted(r.correlations.items()):
+        by_w = r.correlations_by_window[suspect]
+        verdict = "ANTAGONIST" if suspect in r.identified else "innocent"
+        rows.append([suspect, *(f"{by_w[w]:+.2f}" for w in windows),
+                     f"{corr:+.2f}", verdict])
+    print(render_table(
+        ["suspect", *(f"n={w}" for w in windows), "corr", "verdict"], rows,
+        title="Pearson(victim iowait-ratio deviation, suspect I/O throughput)",
+    ))
+    print("\nThe paper's Fig. 5c point: the true antagonist is already "
+          "identifiable\nfrom a dataset of ~3 samples; decoys decay as "
+          "evidence accumulates.\n")
+
+    print("=" * 72)
+    print("\nScenario 2: who is thrashing the memory system under Spark LR?")
+    print("(two 2-vCPU STREAM VMs — harmless alone, harmful together)\n")
+    r_zero = figures.fig6(missing_policy=MissingPolicy.ZERO)
+    r_omit = figures.fig6(missing_policy=MissingPolicy.OMIT)
+    rows = []
+    for suspect in sorted(r_zero.correlations):
+        verdict = "ANTAGONIST" if suspect in r_zero.identified else "innocent"
+        rows.append([
+            suspect,
+            f"{r_zero.correlations[suspect]:+.2f}",
+            f"{r_omit.correlations[suspect]:+.2f}",
+            verdict,
+        ])
+    print(render_table(
+        ["suspect", "missing-as-zero", "omit-missing", "verdict"], rows,
+        title="Pearson(victim CPI deviation, suspect LLC miss rate)",
+    ))
+    print("\nWhy missing-as-zero (paper §III-B): idle intervals where a "
+          "suspect's cgroup\ncounted no LLC events carry evidence — the "
+          "victim was fine exactly when the\nsuspect was quiet.  Omitting "
+          "them (right column) computes similarity over\nlittle data and "
+          "can even flip the sign.")
+
+
+if __name__ == "__main__":
+    main()

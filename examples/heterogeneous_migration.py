@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Future-work features: heterogeneous hosts and conflict-driven migration.
+
+The paper's §IV-D2 notes two limits of the decentralized design and
+sketches complements, both implemented here as hooks:
+
+1. **Hardware heterogeneity** — a decentralized node manager cannot fix a
+   *slow machine*; application-level speculation (LATE) complements
+   PerfCloud there.  We build a cluster with one half-speed server and
+   show LATE rescuing the tasks that land on it while PerfCloud handles a
+   noisy neighbour on a fast server.
+
+2. **Colocated high-priority applications** — when two high-priority
+   apps share a server, throttling cannot help (neither may be capped);
+   the node manager reports the conflict to the cloud manager, and a
+   MigrationManager resolves it by live-migrating the smaller app.
+
+Run:  python examples/heterogeneous_migration.py
+"""
+
+from dataclasses import replace
+
+from repro import (
+    CloudManager,
+    Cluster,
+    FioRandomRead,
+    HdfsCluster,
+    JobTracker,
+    LateSpeculation,
+    MigrationManager,
+    PerfCloud,
+    Priority,
+    R630,
+    Simulator,
+    teragen,
+    terasort,
+)
+
+
+def heterogeneity_demo() -> None:
+    print("=== 1. Heterogeneous servers: PerfCloud + LATE are complements ===")
+
+    def run(speculate: bool):
+        sim = Simulator(dt=1.0, seed=11)
+        cluster = Cluster(sim)
+        cluster.add_host("fast0", R630)
+        # The slow machine: half-speed cores and an older, slower disk.
+        slow_spec = replace(
+            R630.scaled(0.3),
+            disk=replace(R630.disk, max_iops=R630.disk.max_iops * 0.4,
+                         max_bytes_per_s=R630.disk.max_bytes_per_s * 0.4),
+        )
+        cluster.add_host("slow0", slow_spec)
+        cloud = CloudManager(cluster)
+        workers = []
+        for i in range(8):
+            workers.append(cloud.boot(
+                f"w{i}", priority=Priority.HIGH, app_id="hadoop",
+                host="fast0" if i % 2 == 0 else "slow0",
+            ))
+        hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+        jt = JobTracker(
+            sim, workers, hdfs,
+            speculation=LateSpeculation(min_runtime_s=10.0) if speculate else None,
+        )
+        fio_vm = cloud.boot("noisy", host="fast0")
+        fio_vm.attach_workload(FioRandomRead())
+        PerfCloud(sim, cloud)  # throttles the neighbour; can't speed up slow0
+        job = jt.submit(terasort(), teragen(640), num_reducers=10)
+        sim.run(4000)
+        rescued = sum(
+            1
+            for t in job.tasks
+            for a in t.attempts
+            if a.speculative and a.state.value == "succeeded"
+        )
+        return job.completion_time, rescued
+
+    plain, _ = run(speculate=False)
+    with_late, rescued = run(speculate=True)
+    print(f"PerfCloud only:        JCT = {plain:.0f} s "
+          "(slow-machine stragglers remain: PerfCloud cannot speed up a "
+          "slow server)")
+    print(f"PerfCloud + LATE:      JCT = {with_late:.0f} s, "
+          f"{rescued} straggling task(s) rescued by speculative copies "
+          "on the fast server\n")
+
+
+def migration_demo() -> None:
+    print("=== 2. Two high-priority apps on one server -> migration ===")
+    sim = Simulator(dt=1.0, seed=5)
+    cluster = Cluster(sim)
+    for i in range(3):
+        cluster.add_host(f"server{i}")
+    cloud = CloudManager(cluster)
+    # Both apps land (badly) on server0.
+    for i in range(3):
+        cloud.boot(f"appA-{i}", priority=Priority.HIGH, app_id="appA",
+                   host="server0")
+    for i in range(2):
+        cloud.boot(f"appB-{i}", priority=Priority.HIGH, app_id="appB",
+                   host="server0")
+    PerfCloud(sim, cloud)  # agents report the conflict
+    migrator = MigrationManager(sim, cloud, check_interval_s=15.0)
+    sim.run(60)
+    print(f"conflict reports filed by the node manager: "
+          f"{len(cloud.conflict_reports)}")
+    for when, vm, src, dst in migrator.migrations:
+        print(f"  t={when:4.0f}s  migrated {vm}: {src} -> {dst}")
+    placements = sorted(
+        (vm.name, vm.host_name) for vm in cluster.vms.values()
+    )
+    print("final placement:")
+    for name, host in placements:
+        print(f"  {name:8s} on {host}")
+
+
+if __name__ == "__main__":
+    heterogeneity_demo()
+    migration_demo()

@@ -1,0 +1,144 @@
+#!/usr/bin/env python3
+"""A multi-tenant datacenter: LATE vs. Dolly vs. PerfCloud (mini Fig. 11).
+
+Builds a 3-server cloud hosting a 24-node virtual Hadoop/Spark cluster,
+submits a Facebook-like mix of small MapReduce and Spark jobs, scatters
+fio and STREAM antagonists across the servers, and compares three ways of
+coping:
+
+* **LATE**  — application-level speculative execution (wait, observe,
+  duplicate the laggard);
+* **Dolly-3** — proactively run 3 clones of every job, keep the first;
+* **PerfCloud** — detect interference at the system level and throttle
+  the antagonists at their host.
+
+Reported per scheme: mean job degradation vs. an interference-free run,
+and the resource-utilization efficiency (successful task-time / all
+task-time, including killed copies).
+
+Run:  python examples/multi_tenant_datacenter.py   (takes a minute or two)
+"""
+
+import numpy as np
+
+from repro.experiments.harness import TestbedConfig, build_testbed
+from repro.experiments.report import render_table
+from repro.frameworks.cloning import DollyCloner
+from repro.frameworks.speculation import LateSpeculation
+from repro.workloads.mix import facebook_like_mix
+from repro.workloads.puma import PUMA_BENCHMARKS
+from repro.workloads.sparkbench import SPARKBENCH_BENCHMARKS
+
+NUM_HOSTS = 3
+NUM_WORKERS = 24
+NUM_JOBS = 8  # per framework
+ANTAGONIST_PAIRS = 3
+SEED = 11
+HORIZON = 9000.0
+
+
+def run(scheme: str):
+    speculation = LateSpeculation() if scheme == "late" else None
+    clones = 3 if scheme == "dolly-3" else 1
+    testbed = build_testbed(
+        TestbedConfig(
+            seed=SEED,
+            num_hosts=NUM_HOSTS,
+            num_workers=NUM_WORKERS,
+            framework="both",
+            speculation=speculation,
+            scheduler_policy="fair",
+        )
+    )
+    sim = testbed.sim
+    if scheme != "ideal":
+        hosts = sorted(testbed.cluster.hosts)
+        rng = sim.rng.stream("antagonist-placement")
+        for i in range(ANTAGONIST_PAIRS):
+            testbed.add_antagonist(
+                f"fio-{i}", "fio", host=hosts[int(rng.integers(len(hosts)))])
+            testbed.add_antagonist(
+                f"stream-{i}", "stream",
+                host=hosts[int(rng.integers(len(hosts)))])
+    if scheme == "perfcloud":
+        testbed.deploy_perfcloud()
+
+    rng = sim.rng.stream("mix")
+    mr_mix = facebook_like_mix("mapreduce", NUM_JOBS, rng,
+                               mean_interarrival_s=20.0)
+    spark_mix = facebook_like_mix("spark", NUM_JOBS, rng,
+                                  mean_interarrival_s=20.0)
+    mr_cloner = DollyCloner(testbed.jobtracker, clones) if clones > 1 else None
+    spark_cloner = DollyCloner(testbed.spark, clones) if clones > 1 else None
+
+    handles = {}
+    for i, req in enumerate(mr_mix):
+        def submit(req=req, i=i):
+            spec = PUMA_BENCHMARKS[req.benchmark]()
+            # Dolly clones small jobs only (its published policy).
+            if mr_cloner and req.num_tasks < 10:
+                handles[("mr", i)] = mr_cloner.submit(
+                    lambda tag: testbed.jobtracker.submit(
+                        spec, req.dataset, req.num_reducers, clone_of=tag))
+            else:
+                handles[("mr", i)] = testbed.jobtracker.submit(
+                    spec, req.dataset, req.num_reducers)
+        sim.schedule_at(req.submit_time, submit)
+    for i, req in enumerate(spark_mix):
+        def submit(req=req, i=i):
+            spec = SPARKBENCH_BENCHMARKS[req.benchmark]()
+            if spark_cloner and req.num_tasks < 10:
+                handles[("spark", i)] = spark_cloner.submit(
+                    lambda tag: testbed.spark.submit(
+                        spec, req.dataset, clone_of=tag))
+            else:
+                handles[("spark", i)] = testbed.spark.submit(spec, req.dataset)
+        sim.schedule_at(req.submit_time, submit)
+
+    sim.run(HORIZON)
+    jcts = {k: h.completion_time for k, h in handles.items()}
+    ledgers = [testbed.jobtracker.ledger, testbed.spark.ledger]
+    total = sum(l.total_task_seconds for l in ledgers)
+    eff = (sum(l.successful_task_seconds for l in ledgers) / total
+           if total else 1.0)
+    return jcts, eff
+
+
+def main() -> None:
+    print("Running the interference-free reference ...")
+    ideal, _ = run("ideal")
+
+    rows = []
+    for scheme in ("late", "dolly-3", "perfcloud"):
+        print(f"Running {scheme} ...")
+        jcts, eff = run(scheme)
+        degs = []
+        for key, base in ideal.items():
+            if base and jcts.get(key):
+                degs.append(jcts[key] / base - 1.0)
+        degs = np.asarray(degs)
+        rows.append([
+            scheme,
+            f"{np.mean(degs) * 100:+.0f}%",
+            f"{np.median(degs) * 100:+.0f}%",
+            f"{np.mean(degs < 0.10) * 100:.0f}%",
+            f"{np.mean(degs < 0.30) * 100:.0f}%",
+            f"{eff * 100:.0f}%",
+        ])
+    print()
+    print(render_table(
+        ["scheme", "mean deg", "median deg", "jobs <10%", "jobs <30%",
+         "util efficiency"],
+        rows,
+        title=f"{2 * NUM_JOBS} jobs, {NUM_WORKERS} workers on "
+              f"{NUM_HOSTS} servers, {ANTAGONIST_PAIRS} antagonist pairs",
+    ))
+    print("\nThe paper's Fig. 11 story, at mini scale: LATE reacts late, "
+          "Dolly's clones\ncompete for the few slots a small cluster has "
+          "(on the paper's 152-node\ntestbed the clones ride free slack "
+          "instead), and PerfCloud removes the\ninterference at its source "
+          "with no duplicate resource usage at all.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,116 @@
+"""PerfCloud reproduction: performance isolation of data-intensive
+scale-out applications in a multi-tenant cloud (Lama et al., IPDPS 2018).
+
+Quick tour::
+
+    from repro import (
+        Simulator, Cluster, CloudManager, PerfCloud, Priority,
+        HdfsCluster, JobTracker, FioRandomRead, terasort, teragen,
+    )
+
+    sim = Simulator(dt=1.0, seed=42)
+    cluster = Cluster(sim)
+    cluster.add_host("server0")
+    cloud = CloudManager(cluster)
+    workers = cloud.boot_many("hdp", 6, priority=Priority.HIGH, app_id="hadoop")
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(640), num_reducers=10)
+
+    fio_vm = cloud.boot("fio")                      # low-priority neighbour
+    fio_vm.attach_workload(FioRandomRead())
+
+    perfcloud = PerfCloud(sim, cloud)               # deploy the agents
+    sim.run(600)
+    print(job.completion_time)
+
+Layers (bottom-up): :mod:`repro.sim` (engine), :mod:`repro.hardware`
+(contention models), :mod:`repro.virt` (KVM/cgroup/libvirt facade),
+:mod:`repro.cloud` (Nova-like manager), :mod:`repro.workloads`
+(benchmarks), :mod:`repro.frameworks` (MapReduce/Spark + LATE + Dolly),
+:mod:`repro.core` (PerfCloud itself), :mod:`repro.experiments` (figure
+reproduction harness).
+"""
+
+from repro.sim import Simulator
+from repro.hardware import DiskSpec, HostSpec, MemSpec, NicSpec
+from repro.hardware.specs import R630
+from repro.virt import Cluster, Priority, VM
+from repro.cloud import CloudManager, MigrationManager
+from repro.core import (
+    DefaultPolicy,
+    NodeManager,
+    PerfCloud,
+    PerfCloudConfig,
+    StaticCapPolicy,
+)
+from repro.frameworks import (
+    DollyCloner,
+    HdfsCluster,
+    JobTracker,
+    LateSpeculation,
+    NoSpeculation,
+    SparkScheduler,
+)
+from repro.workloads import (
+    FioRandomRead,
+    IperfStream,
+    StreamBenchmark,
+    SysbenchCpu,
+    SysbenchOltp,
+    facebook_like_mix,
+    grep,
+    inverted_index,
+    kmeans,
+    logistic_regression,
+    page_rank,
+    svm,
+    teragen,
+    terasort,
+    wikipedia,
+    wordcount,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CloudManager",
+    "Cluster",
+    "DefaultPolicy",
+    "DiskSpec",
+    "DollyCloner",
+    "FioRandomRead",
+    "HdfsCluster",
+    "IperfStream",
+    "HostSpec",
+    "JobTracker",
+    "LateSpeculation",
+    "MemSpec",
+    "MigrationManager",
+    "NicSpec",
+    "NodeManager",
+    "NoSpeculation",
+    "PerfCloud",
+    "PerfCloudConfig",
+    "Priority",
+    "R630",
+    "Simulator",
+    "SparkScheduler",
+    "StaticCapPolicy",
+    "StreamBenchmark",
+    "SysbenchCpu",
+    "SysbenchOltp",
+    "VM",
+    "__version__",
+    "facebook_like_mix",
+    "grep",
+    "inverted_index",
+    "kmeans",
+    "logistic_regression",
+    "page_rank",
+    "svm",
+    "teragen",
+    "terasort",
+    "wikipedia",
+    "wordcount",
+]

@@ -1,0 +1,172 @@
+"""Command-line interface: reproduce any paper figure from the shell.
+
+::
+
+    python -m repro list                 # what can be reproduced
+    python -m repro fig3                 # run one figure, print its series
+    python -m repro fig9 --seed 11
+    python -m repro fig11 --full-scale   # paper-size dimensions (slow)
+    python -m repro demo                 # the quickstart scenario
+
+Each figure command accepts ``--seed`` and prints the same tables the
+benchmark harness prints; ``--json PATH`` additionally dumps the raw
+result object for downstream plotting.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Callable, Dict
+
+from repro.experiments import figures
+from repro.experiments.report import render_table
+
+__all__ = ["main"]
+
+#: figure name -> (runner factory, description, supports_full_scale)
+_FIGURES: Dict[str, tuple] = {
+    "fig1": (lambda a: figures.fig1(seeds=(a.seed, a.seed + 4)),
+             "I/O interference vs. fio cap (Fig. 1)", False),
+    "fig2": (lambda a: figures.fig2(seeds=(a.seed, a.seed + 4)),
+             "STREAM (memory) interference (Fig. 2)", False),
+    "fig3": (lambda a: figures.fig3(seed=a.seed),
+             "iowait-ratio deviation signal (Fig. 3)", False),
+    "fig4": (lambda a: figures.fig4(seed=a.seed),
+             "CPI deviation signal (Fig. 4)", False),
+    "fig5": (lambda a: figures.fig5(seed=a.seed),
+             "I/O antagonist identification (Fig. 5)", False),
+    "fig6": (lambda a: figures.fig6(seed=a.seed),
+             "CPU antagonist identification (Fig. 6)", False),
+    "fig7": (lambda a: figures.fig7(),
+             "CUBIC growth regions (Fig. 7)", False),
+    "fig9": (lambda a: figures.fig9(seeds=(a.seed, a.seed + 4)),
+             "dynamic control: default/static/PerfCloud (Fig. 9)", False),
+    "fig10": (lambda a: figures.fig10(seed=a.seed),
+              "cap timelines under PerfCloud (Fig. 10)", False),
+    "fig11": (
+        lambda a: figures.fig11(
+            seed=a.seed,
+            **(dict(num_hosts=15, num_workers=150, num_mr_jobs=100,
+                    num_spark_jobs=100, num_antagonist_pairs=15,
+                    horizon=40000.0) if a.full_scale else {}),
+        ),
+        "large scale vs. LATE/Dolly (Fig. 11)", True),
+    "fig12": (
+        lambda a: figures.fig12(
+            **(dict(repeats=30, num_hosts=15, num_workers=150,
+                    num_antagonist_pairs=15) if a.full_scale
+               else dict(repeats=8, num_hosts=4, num_workers=24, tasks=20,
+                         num_antagonist_pairs=2)),
+        ),
+        "variability across repeats (Fig. 12)", True),
+}
+
+
+def _to_jsonable(obj: Any) -> Any:
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: _to_jsonable(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): _to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_to_jsonable(v) for v in obj]
+    if isinstance(obj, float):
+        return None if obj != obj else obj  # NaN -> null
+    return obj
+
+
+def _print_result(name: str, result: Any) -> None:
+    """Generic, readable rendering of a figure result dataclass."""
+    print(f"== {name} ==")
+    if dataclasses.is_dataclass(result):
+        for f in dataclasses.fields(result):
+            value = getattr(result, f.name)
+            if isinstance(value, dict) and value and not any(
+                isinstance(v, (list, dict)) for v in value.values()
+            ):
+                rows = [[k, v] for k, v in value.items()]
+                print(render_table([f.name, "value"], rows))
+            elif isinstance(value, (int, float, str, bool)):
+                print(f"{f.name}: {value}")
+            else:
+                preview = str(value)
+                if len(preview) > 300:
+                    preview = preview[:300] + " ..."
+                print(f"{f.name}: {preview}")
+    else:
+        print(result)
+
+
+def _run_demo(args: argparse.Namespace) -> int:
+    from repro import (
+        CloudManager, Cluster, FioRandomRead, HdfsCluster, JobTracker,
+        PerfCloud, Priority, Simulator, teragen, terasort,
+    )
+
+    for deploy in (False, True):
+        sim = Simulator(dt=1.0, seed=args.seed)
+        cluster = Cluster(sim)
+        cluster.add_host("server0")
+        cloud = CloudManager(cluster)
+        workers = cloud.boot_many("hdp", 6, priority=Priority.HIGH,
+                                  app_id="hadoop")
+        hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+        jt = JobTracker(sim, workers, hdfs)
+        vm = cloud.boot("noisy")
+        vm.attach_workload(FioRandomRead())
+        if deploy:
+            PerfCloud(sim, cloud)
+        job = jt.submit(terasort(), teragen(640), num_reducers=10)
+        sim.run(2000)
+        label = "with PerfCloud" if deploy else "default       "
+        print(f"{label}: terasort JCT = {job.completion_time:.0f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PerfCloud reproduction — run the paper's experiments.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("list", help="list reproducible figures")
+    demo = sub.add_parser("demo", help="run the quickstart scenario")
+    demo.add_argument("--seed", type=int, default=7)
+    for name, (_, desc, supports_full) in _FIGURES.items():
+        p = sub.add_parser(name, help=desc)
+        p.add_argument("--seed", type=int, default=7)
+        p.add_argument("--json", metavar="PATH", default=None,
+                       help="dump the raw result as JSON")
+        if supports_full:
+            p.add_argument("--full-scale", action="store_true",
+                           help="use the paper's exact dimensions (slow)")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in (None, "list"):
+        rows = [[n, d] for n, (_, d, _) in _FIGURES.items()]
+        print(render_table(["command", "reproduces"], rows))
+        print("\nalso: `demo` — the quickstart scenario")
+        return 0
+    if args.command == "demo":
+        return _run_demo(args)
+    runner, _, _ = _FIGURES[args.command]
+    result = runner(args)
+    _print_result(args.command, result)
+    if getattr(args, "json", None):
+        with open(args.json, "w") as fh:
+            json.dump(_to_jsonable(result), fh, indent=2)
+        print(f"\nraw result written to {args.json}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,32 @@
+"""OpenStack-like cloud management layer.
+
+The paper builds its testbed with OpenStack and has each PerfCloud node
+manager "periodically contact the cloud manager to fetch relevant
+information about the VMs hosted on the physical server, including VM
+priority (high/low), and a list of VMs that belong to the same
+high-priority application" (§III-D2).  :class:`~repro.cloud.nova.CloudManager`
+provides exactly that API surface over the simulated cluster, plus
+flavors, placement policies and the migration hook the paper defers to
+future work.
+"""
+
+from repro.cloud.nova import CloudManager, Flavor, InstanceInfo, FLAVORS
+from repro.cloud.placement import (
+    PackPlacement,
+    PlacementPolicy,
+    RandomPlacement,
+    SpreadPlacement,
+)
+from repro.cloud.migration import MigrationManager
+
+__all__ = [
+    "CloudManager",
+    "FLAVORS",
+    "Flavor",
+    "InstanceInfo",
+    "MigrationManager",
+    "PackPlacement",
+    "PlacementPolicy",
+    "RandomPlacement",
+    "SpreadPlacement",
+]

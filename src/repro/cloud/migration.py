@@ -1,0 +1,109 @@
+"""VM migration (the paper's future-work complement to throttling).
+
+§IV-D2: "if multiple high-priority applications are colocated on the
+same server, the node manager can notify the cloud manager to address
+the issue through complementary solutions such as VM migration."  The
+:class:`MigrationManager` implements that complementary path: it watches
+the cloud manager's conflict reports and live-migrates the smaller
+application's VMs to the least-loaded hosts.
+
+Migration is modelled with a downtime window proportional to VM memory
+(pre-copy transfer at NIC speed): during the window the VM is detached
+from any host and makes no progress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.cloud.nova import CloudManager
+from repro.sim.engine import Simulator
+
+__all__ = ["MigrationManager"]
+
+
+class MigrationManager:
+    """Resolves high-priority colocation conflicts via migration."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud: CloudManager,
+        *,
+        check_interval_s: float = 30.0,
+        dirty_rate_factor: float = 0.15,
+    ) -> None:
+        self.sim = sim
+        self.cloud = cloud
+        self.dirty_rate_factor = dirty_rate_factor
+        self.migrations: List[tuple] = []  # (time, vm, src, dst)
+        self._seen_reports = 0
+        self._task = sim.every(
+            check_interval_s, self.check, name="migration-manager"
+        )
+
+    def stop(self) -> None:
+        """Stop watching for conflicts."""
+        self._task.stop()
+
+    # ---------------------------------------------------------------- checks
+    def check(self) -> None:
+        """Act on new conflict reports from node managers."""
+        reports = self.cloud.conflict_reports[self._seen_reports :]
+        self._seen_reports = len(self.cloud.conflict_reports)
+        handled: Set[str] = set()
+        for _, host, app_ids in reports:
+            if host in handled or len(app_ids) < 2:
+                continue
+            handled.add(host)
+            self._resolve(host, list(app_ids))
+
+    def _resolve(self, host: str, app_ids: List[str]) -> None:
+        """Move the smaller app's VMs on ``host`` to less-loaded hosts."""
+        vms_by_app: Dict[str, List] = {a: [] for a in app_ids}
+        for vm in self.cloud.cluster.vms_on_host(host):
+            if vm.app_id in vms_by_app and vm.is_high_priority:
+                vms_by_app[vm.app_id].append(vm)
+        mover = min(
+            (a for a in app_ids if vms_by_app[a]),
+            key=lambda a: len(vms_by_app[a]),
+            default=None,
+        )
+        if mover is None:
+            return
+        for vm in vms_by_app[mover]:
+            target = self._pick_target(exclude=host)
+            if target is None:
+                return
+            self.migrate(vm.name, target)
+
+    def _pick_target(self, exclude: str) -> Optional[str]:
+        loads: Dict[str, int] = {h: 0 for h in self.cloud.cluster.hosts}
+        for vm in self.cloud.cluster.vms.values():
+            if vm.host_name:
+                loads[vm.host_name] += vm.vcpus
+        candidates = [h for h in sorted(loads) if h != exclude]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda h: loads[h])
+
+    # --------------------------------------------------------------- migrate
+    def migrate(self, vm_name: str, target_host: str) -> None:
+        """Live-migrate with a memory-proportional brownout window."""
+        vm = self.cloud.cluster.vms[vm_name]
+        src = vm.host_name
+        nic_bps = self.cloud.cluster.hosts[target_host].spec.nic.bytes_per_s
+        transfer_s = vm.mem_gb * 1e9 / nic_bps
+        brownout = max(0.5, transfer_s * self.dirty_rate_factor)
+        # Suspend the workload for the brownout window: detach the driver,
+        # move the VM, then re-attach.
+        driver = vm.driver
+        vm.clear_workload()
+        self.cloud.migrate(vm_name, target_host)
+
+        def resume() -> None:
+            if driver is not None:
+                vm.attach_workload(driver)
+
+        self.sim.schedule(brownout, resume, name=f"migrate-resume-{vm_name}")
+        self.migrations.append((self.sim.now, vm_name, src, target_host))

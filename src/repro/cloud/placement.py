@@ -1,0 +1,71 @@
+"""VM placement policies.
+
+Placement decides where interference can happen at all — the large-scale
+evaluation "randomly distribute[s] antagonistic VMs" across the servers
+on each job execution (§IV-C), while application worker VMs are spread
+for availability.  Policies are deliberately simple: the paper's
+contribution is *reacting* to bad neighbours, not avoiding them.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cloud.nova import Flavor
+    from repro.virt.cluster import Cluster
+
+__all__ = ["PlacementPolicy", "SpreadPlacement", "PackPlacement", "RandomPlacement"]
+
+
+class PlacementPolicy(abc.ABC):
+    """Chooses a host for a new instance."""
+
+    @abc.abstractmethod
+    def place(self, cluster: "Cluster", flavor: "Flavor") -> str:
+        """Return the name of the chosen host."""
+
+    @staticmethod
+    def _committed_vcpus(cluster: "Cluster") -> Dict[str, int]:
+        load: Dict[str, int] = {h: 0 for h in cluster.hosts}
+        for vm in cluster.vms.values():
+            if vm.host_name is not None:
+                load[vm.host_name] += vm.vcpus
+        return load
+
+
+class SpreadPlacement(PlacementPolicy):
+    """Least-committed-vCPUs first (Nova's default spirit)."""
+
+    def place(self, cluster, flavor):
+        """Least-committed host."""
+        if not cluster.hosts:
+            raise RuntimeError("no hosts registered")
+        load = self._committed_vcpus(cluster)
+        return min(sorted(cluster.hosts), key=lambda h: load[h])
+
+
+class PackPlacement(PlacementPolicy):
+    """Most-committed first (consolidation; maximizes interference)."""
+
+    def place(self, cluster, flavor):
+        """Most-committed host."""
+        if not cluster.hosts:
+            raise RuntimeError("no hosts registered")
+        load = self._committed_vcpus(cluster)
+        return max(sorted(cluster.hosts), key=lambda h: load[h])
+
+
+class RandomPlacement(PlacementPolicy):
+    """Uniform random host — the paper's antagonist distribution."""
+
+    def __init__(self, rng) -> None:
+        self._rng = rng
+
+    def place(self, cluster, flavor):
+        """Uniformly random host."""
+        hosts = sorted(cluster.hosts)
+        if not hosts:
+            raise RuntimeError("no hosts registered")
+        return hosts[int(self._rng.integers(0, len(hosts)))]

@@ -1,0 +1,48 @@
+"""PerfCloud: the paper's primary contribution.
+
+The pipeline, per physical host, every 5-second interval (§III-D):
+
+1. :class:`~repro.core.monitor.PerformanceMonitor` reads cumulative
+   cgroup/libvirt counters for every hosted VM, converts them to interval
+   deltas, and EWMA-smooths them;
+2. :class:`~repro.core.detector.InterferenceDetector` computes the
+   standard deviation of the block-iowait ratio and of CPI across the
+   VMs of each high-priority application and compares them to the
+   thresholds (H_io = 10, H_cpi = 1);
+3. :class:`~repro.core.identification.AntagonistIdentifier` Pearson-
+   correlates the victim's deviation time series with each low-priority
+   VM's I/O throughput (disk) or LLC miss rate (processor), with missing
+   samples treated as zero; suspects at ≥ 0.8 are antagonists;
+4. :class:`~repro.core.cubic.CubicController` computes each antagonist's
+   new resource cap from Eq. 1 (multiplicative decrease under contention,
+   CUBIC growth otherwise);
+5. :class:`~repro.core.node_manager.NodeManager` (Algorithm 1) wires the
+   above and actuates caps through the libvirt facade.
+
+:class:`~repro.core.perfcloud.PerfCloud` instantiates one decentralized
+node-manager agent per host against the cloud manager, mirroring Fig. 8.
+"""
+
+from repro.core.config import PerfCloudConfig
+from repro.core.cubic import CubicController, CapState
+from repro.core.detector import DetectionResult, InterferenceDetector
+from repro.core.identification import AntagonistIdentifier
+from repro.core.monitor import PerformanceMonitor, VmSample
+from repro.core.node_manager import NodeManager
+from repro.core.perfcloud import PerfCloud
+from repro.core.policies import DefaultPolicy, StaticCapPolicy
+
+__all__ = [
+    "AntagonistIdentifier",
+    "CapState",
+    "CubicController",
+    "DefaultPolicy",
+    "DetectionResult",
+    "InterferenceDetector",
+    "NodeManager",
+    "PerfCloud",
+    "PerfCloudConfig",
+    "PerformanceMonitor",
+    "StaticCapPolicy",
+    "VmSample",
+]

@@ -1,0 +1,50 @@
+"""Ad-hoc (bang-bang) resource capping — the §III-C strawman.
+
+"A naive approach may apply ad-hoc resource capping on antagonists,
+whenever resource contention is detected.  However, such ad-hoc policies
+may lead to oscillatory and unstable system behavior."
+
+:class:`AdHocController` implements exactly that naive policy behind the
+same interface as :class:`~repro.core.cubic.CubicController`, so the node
+manager can run either and the ablation benchmark can quantify the
+oscillation (throttle/release flapping) and the victim/antagonist cost
+of forgoing CUBIC's gradual probing.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import PerfCloudConfig
+from repro.core.cubic import CapState
+
+__all__ = ["AdHocController"]
+
+
+class AdHocController:
+    """Bang-bang capping: clamp hard under contention, release otherwise."""
+
+    def __init__(self, config: PerfCloudConfig, clamp_frac: float = 0.2) -> None:
+        if not 0 < clamp_frac < 1:
+            raise ValueError("clamp_frac must be in (0, 1)")
+        self.config = config
+        self.clamp_frac = clamp_frac
+
+    def start(self, observed_usage: float) -> CapState:
+        """Begin controlling an antagonist at its observed usage."""
+        base = max(float(observed_usage), 1e-9)
+        return CapState(base=base, cap=1.0, c_max=1.0, t=0)
+
+    def update(self, state: CapState, contention: bool) -> CapState:
+        """Clamp hard on contention; release fully the moment it fades."""
+        if contention:
+            state.released = False
+            state.c_max = 1.0
+            state.cap = self.clamp_frac
+            state.t = 0
+        else:
+            # Immediate full release: the instant the signal dips below
+            # threshold, the antagonist gets everything back — and the
+            # contention returns next interval (the oscillation).
+            state.t += 1
+            state.cap = 1.0
+            state.released = True
+        return state

@@ -1,0 +1,66 @@
+"""PerfCloud tunables, with the paper's published values as defaults.
+
+All constants come from §III: the 5-second monitoring/control interval
+(§III-D1), thresholds H_io = 10 and H_cpi = 1 chosen as the peak
+deviations observed without contention (§III-C), multiplicative-decrease
+factor β = 0.8 and cubic scaling γ = 0.005 (§III-C), and the correlation
+threshold 0.8 for antagonist identification (§III-D2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PerfCloudConfig"]
+
+
+@dataclass(frozen=True)
+class PerfCloudConfig:
+    """Configuration of one PerfCloud deployment."""
+
+    #: Sampling and control interval, seconds (§III-D1).
+    interval_s: float = 5.0
+    #: EWMA smoothing factor applied to 5-second samples.
+    ewma_alpha: float = 0.7
+    #: Threshold on the std of block-iowait ratio across an application's
+    #: VMs (ms per op, the unit this reproduction accounts wait time in).
+    h_io: float = 10.0
+    #: Threshold on the std of CPI across an application's VMs.
+    h_cpi: float = 1.0
+    #: Multiplicative-decrease factor β: cap -> (1 - β) * cap.
+    beta: float = 0.8
+    #: Cubic growth scaling γ.
+    gamma: float = 0.005
+    #: Pearson correlation threshold for antagonist identification.
+    corr_threshold: float = 0.8
+    #: Samples of history used in the online correlation (Fig. 5c shows 3
+    #: already works; a slightly longer tail adds robustness).
+    corr_window: int = 8
+    #: Minimum victim samples before identification is attempted.
+    corr_min_samples: int = 4
+    #: Floor on resource caps, as a fraction of the initial cap — the
+    #: controller never strangles a VM to zero.
+    cap_floor_frac: float = 0.05
+    #: How long an identified antagonist stays throttle-eligible after its
+    #: correlation last exceeded the threshold, seconds.
+    antagonist_ttl_s: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.interval_s <= 0:
+            raise ValueError("interval_s must be positive")
+        if not 0 < self.ewma_alpha <= 1:
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.h_io <= 0 or self.h_cpi <= 0:
+            raise ValueError("thresholds must be positive")
+        if not 0 < self.beta < 1:
+            raise ValueError("beta must be in (0, 1)")
+        if not 0 < self.gamma <= 1:
+            raise ValueError("gamma must be in (0, 1]")
+        if not 0 < self.corr_threshold <= 1:
+            raise ValueError("corr_threshold must be in (0, 1]")
+        if self.corr_window < 2 or self.corr_min_samples < 2:
+            raise ValueError("correlation windows must be >= 2")
+        if not 0 <= self.cap_floor_frac < 1:
+            raise ValueError("cap_floor_frac must be in [0, 1)")
+        if self.antagonist_ttl_s <= 0:
+            raise ValueError("antagonist_ttl_s must be positive")

@@ -1,0 +1,116 @@
+"""CUBIC-inspired dynamic resource control (Eq. 1, §III-C).
+
+The cap on each antagonist follows the paper's Equation 1::
+
+    C_i(t+1) = (1 - beta) * C_i(t)                       if I(t) > H
+    C_i(t+1) = gamma * (T_i - K)^3 + C_i^max             otherwise,
+    K        = cbrt(beta * C_i^max / gamma)
+
+where ``T_i`` counts intervals since the last cap decrease and
+``C_i^max`` is the cap at the moment of that decrease.  The cubic shape
+gives the three regions of Fig. 7: steep initial growth back toward
+``C_max``, a plateau around it, and aggressive probing beyond it.
+
+Units: the controller works in *normalized* cap space — a cap of 1.0
+equals the antagonist's resource usage observed when throttling began
+(the paper initializes caps to observed usage).  Normalization is what
+makes the published γ = 0.005 give a sensible recovery horizon
+(K = cbrt(0.8/0.005) ≈ 5.4 intervals ≈ 27 s at the 5-second cadence,
+matching the Fig. 10 timeline) for both CPU caps (~cores) and I/O caps
+(~thousands of IOPS) with one constant.  The node manager converts to
+device units at actuation time.
+
+When probing pushes the normalized cap past :data:`RELEASE_LEVEL`, the
+antagonist is no longer effectively constrained and the throttle is
+removed entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import PerfCloudConfig
+
+__all__ = ["CapState", "CubicController", "RELEASE_LEVEL"]
+
+#: Normalized cap level at which the throttle is lifted (the VM can use
+#: more than it did pre-throttle, so the cap no longer binds).
+RELEASE_LEVEL = 1.3
+
+
+@dataclass
+class CapState:
+    """Controller state for one (antagonist VM, resource) pair."""
+
+    #: Absolute usage observed when the VM was first throttled; the
+    #: normalization base and the Eq. 1 initialization C_i(1).
+    base: float
+    #: Current cap, normalized to ``base``.
+    cap: float = 1.0
+    #: Cap at the last decrease event (C_i^max), normalized.
+    c_max: float = 1.0
+    #: Intervals since the last decrease (T_i).
+    t: int = 0
+    #: Whether the throttle has been released by probing.
+    released: bool = False
+
+    @property
+    def absolute_cap(self) -> Optional[float]:
+        """Cap in device units; None when released (unthrottled)."""
+        if self.released:
+            return None
+        return self.cap * self.base
+
+
+class CubicController:
+    """Stateless application of Eq. 1 to a :class:`CapState`."""
+
+    def __init__(self, config: PerfCloudConfig) -> None:
+        self.config = config
+
+    def start(self, observed_usage: float) -> CapState:
+        """Begin controlling an antagonist at its observed usage."""
+        base = max(float(observed_usage), 1e-9)
+        return CapState(base=base, cap=1.0, c_max=1.0, t=0)
+
+    def k(self, c_max: float) -> float:
+        """Recovery horizon: intervals from decrease back to c_max."""
+        return (self.config.beta * c_max / self.config.gamma) ** (1.0 / 3.0)
+
+    def update(self, state: CapState, contention: bool) -> CapState:
+        """Advance one control interval; mutates and returns ``state``."""
+        cfg = self.config
+        if state.released:
+            if contention:
+                # Re-engage from the released level.
+                state.released = False
+                state.cap = RELEASE_LEVEL
+            else:
+                return state
+        if contention:
+            state.c_max = state.cap
+            state.cap = max(
+                (1.0 - cfg.beta) * state.cap, cfg.cap_floor_frac
+            )
+            state.t = 0
+        else:
+            state.t += 1
+            k = self.k(state.c_max)
+            state.cap = cfg.gamma * (state.t - k) ** 3 + state.c_max
+            # The cubic at T=0 equals (1-beta)*c_max by construction; it
+            # can numerically dip below the floor for tiny c_max.
+            state.cap = max(state.cap, cfg.cap_floor_frac)
+            if state.cap >= RELEASE_LEVEL:
+                state.released = True
+                state.cap = RELEASE_LEVEL
+        return state
+
+    def growth_curve(self, c_max: float, intervals: int) -> list:
+        """The Eq. 1 growth trajectory (for Fig. 7 and tests)."""
+        if intervals < 0:
+            raise ValueError("intervals must be non-negative")
+        k = self.k(c_max)
+        return [
+            self.config.gamma * (t - k) ** 3 + c_max for t in range(intervals + 1)
+        ]

@@ -1,0 +1,101 @@
+"""Interference detection: deviation of iowait ratio and CPI (§III-A).
+
+The insight: scale-out frameworks spread work evenly across their worker
+VMs, so under healthy conditions the per-VM block-iowait ratios and CPIs
+on one host track each other closely.  Contention skews service unevenly
+— the standard deviation across the application's VMs rises within a few
+seconds, long before any task is late enough for application-level
+speculation to notice.
+
+The detector also keeps per-application deviation *time series*: the
+victim signal the antagonist identifier correlates against, and the data
+behind Figs. 3, 4 and 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping
+
+from repro.core.config import PerfCloudConfig
+from repro.core.monitor import VmSample
+from repro.metrics.stats import group_std
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = ["DetectionResult", "InterferenceDetector"]
+
+
+@dataclass
+class DetectionResult:
+    """Outcome of one detection interval for one application on one host."""
+
+    app_id: str
+    time: float
+    iowait_std: float
+    cpi_std: float
+    io_contention: bool
+    cpu_contention: bool
+
+    @property
+    def any_contention(self) -> bool:
+        """Either threshold exceeded this interval."""
+        return self.io_contention or self.cpu_contention
+
+
+class InterferenceDetector:
+    """Per-application deviation computation and thresholding."""
+
+    def __init__(self, config: PerfCloudConfig) -> None:
+        self.config = config
+        #: Deviation history per app: {"io": TimeSeries, "cpi": TimeSeries}.
+        self.signals: Dict[str, Dict[str, TimeSeries]] = {}
+
+    def evaluate(
+        self,
+        now: float,
+        samples: Mapping[str, VmSample],
+        app_members: Mapping[str, List[str]],
+    ) -> Dict[str, DetectionResult]:
+        """Compute deviations for each high-priority application.
+
+        Parameters
+        ----------
+        samples:
+            Per-VM smoothed metrics from the performance monitor.
+        app_members:
+            app_id -> names of that application's VMs on this host.
+        """
+        results: Dict[str, DetectionResult] = {}
+        for app_id, members in app_members.items():
+            present = [m for m in members if m in samples]
+            iowait_std = group_std(samples[m].iowait_ratio for m in present)
+            cpi_std = group_std(
+                samples[m].cpi for m in present if samples[m].cpi > 0
+            )
+            result = DetectionResult(
+                app_id=app_id,
+                time=now,
+                iowait_std=iowait_std,
+                cpi_std=cpi_std,
+                io_contention=iowait_std > self.config.h_io,
+                cpu_contention=cpi_std > self.config.h_cpi,
+            )
+            results[app_id] = result
+            sig = self.signals.setdefault(
+                app_id,
+                {
+                    "io": TimeSeries(name=f"{app_id}.iowait_std"),
+                    "cpi": TimeSeries(name=f"{app_id}.cpi_std"),
+                },
+            )
+            sig["io"].append(now, iowait_std)
+            sig["cpi"].append(now, cpi_std)
+        return results
+
+    def signal(self, app_id: str, kind: str) -> TimeSeries:
+        """Deviation history: ``kind`` is ``"io"`` or ``"cpi"``."""
+        if kind not in ("io", "cpi"):
+            raise ValueError(f"kind must be 'io' or 'cpi', got {kind!r}")
+        if app_id not in self.signals:
+            raise KeyError(f"no signal history for app {app_id!r}")
+        return self.signals[app_id][kind]

@@ -1,0 +1,101 @@
+"""Antagonist identification via online cross-correlation (§III-B).
+
+For I/O contention, PerfCloud correlates the victim application's
+iowait-ratio-deviation time series against each low-priority VM's I/O
+throughput series; for processor contention, the CPI-deviation series
+against each low-priority VM's LLC miss-rate series.  A suspect whose
+Pearson coefficient reaches the threshold (0.8) is an antagonist.
+
+Two fidelity details from the paper:
+
+* **missing-as-zero** — instants where a suspect's cgroup counted no
+  events contribute 0 rather than being omitted, so sparse suspects
+  cannot look highly-correlated off three lucky samples (Fig. 6);
+* **small windows work** — identification is reliable from as few as 3
+  samples (Fig. 5c), so mitigation can start within ~3 intervals.
+
+Identified antagonists carry a TTL: they stay throttle-eligible while
+the controller works even if the (now throttled) suspect's own signal
+flattens out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Set
+
+from repro.core.config import PerfCloudConfig
+from repro.metrics.correlation import MissingPolicy, aligned_pearson
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = ["IdentificationResult", "AntagonistIdentifier"]
+
+
+@dataclass
+class IdentificationResult:
+    """Correlation scores and the antagonist verdicts for one resource."""
+
+    resource: str  # "io" | "cpu"
+    correlations: Dict[str, float]
+    antagonists: Set[str]
+
+
+class AntagonistIdentifier:
+    """Correlates victim deviation signals with suspect usage series."""
+
+    def __init__(
+        self,
+        config: PerfCloudConfig,
+        missing_policy: MissingPolicy = MissingPolicy.ZERO,
+    ) -> None:
+        self.config = config
+        self.missing_policy = missing_policy
+        #: Last time each (resource, vm) pair crossed the threshold.
+        self._last_hit: Dict[tuple, float] = {}
+
+    def identify(
+        self,
+        resource: str,
+        victim_signal: TimeSeries,
+        suspects: Mapping[str, TimeSeries],
+        now: float,
+    ) -> IdentificationResult:
+        """Score every suspect and return those at/above the threshold.
+
+        ``victim_signal`` is the application's deviation series (iowait
+        std for ``resource="io"``, CPI std for ``"cpu"``); ``suspects``
+        maps low-priority VM names to their usage series (I/O throughput
+        or LLC miss rate respectively).
+        """
+        if resource not in ("io", "cpu"):
+            raise ValueError(f"resource must be 'io' or 'cpu', got {resource!r}")
+        correlations: Dict[str, float] = {}
+        antagonists: Set[str] = set()
+        enough = len(victim_signal) >= self.config.corr_min_samples
+        for vm, series in suspects.items():
+            if not enough:
+                correlations[vm] = 0.0
+                continue
+            r = aligned_pearson(
+                victim_signal,
+                series,
+                window=self.config.corr_window,
+                policy=self.missing_policy,
+            )
+            correlations[vm] = r
+            key = (resource, vm)
+            if r >= self.config.corr_threshold:
+                self._last_hit[key] = now
+            # TTL: keep throttling recently-identified antagonists even if
+            # their (throttled) signal no longer co-varies.
+            last = self._last_hit.get(key)
+            if last is not None and now - last <= self.config.antagonist_ttl_s:
+                antagonists.add(vm)
+        return IdentificationResult(
+            resource=resource, correlations=correlations, antagonists=antagonists
+        )
+
+    def forget(self, vm: str) -> None:
+        """Drop TTL state for a departed VM."""
+        for key in [k for k in self._last_hit if k[1] == vm]:
+            del self._last_hit[key]

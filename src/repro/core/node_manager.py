@@ -1,0 +1,237 @@
+"""Node manager: Algorithm 1 — the per-host PerfCloud agent.
+
+Every control interval the node manager:
+
+1. fetches the host's VM inventory from the cloud manager (priorities and
+   application grouping — so it survives arrivals, deletions and
+   migrations);
+2. samples system-level metrics for every VM through libvirt;
+3. computes the iowait-ratio and CPI deviations across each high-priority
+   application's VMs and compares them to the thresholds;
+4. identifies antagonists among the low-priority VMs by online Pearson
+   correlation (I/O throughput against the I/O signal, LLC miss rate
+   against the CPI signal);
+5. runs the CUBIC controller per (antagonist, resource) and actuates the
+   resulting caps through libvirt — ``setBlockIoTune`` for disk,
+   ``setSchedulerParameters``/``vcpu_quota`` for CPU.
+
+If several high-priority applications share the host, it reports the
+conflict to the cloud manager (the paper's migration hook, §IV-D2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.config import PerfCloudConfig
+from repro.core.cubic import CapState, CubicController
+from repro.core.detector import InterferenceDetector
+from repro.core.identification import AntagonistIdentifier
+from repro.core.monitor import PerformanceMonitor, VmSample
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.engine import Simulator
+from repro.virt.libvirt_api import VCPU_PERIOD_US, Connection, Domain, LibvirtError
+
+__all__ = ["NodeManager"]
+
+
+class NodeManager:
+    """One decentralized PerfCloud agent, bound to one physical server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        host_name: str,
+        cloud,
+        config: Optional[PerfCloudConfig] = None,
+        *,
+        autostart: bool = True,
+        controller=None,
+    ) -> None:
+        self.sim = sim
+        self.host_name = host_name
+        self.cloud = cloud
+        self.config = config or PerfCloudConfig()
+        self.conn: Connection = cloud.connection(host_name)
+        self.monitor = PerformanceMonitor(self.conn, self.config)
+        self.detector = InterferenceDetector(self.config)
+        self.identifier = AntagonistIdentifier(self.config)
+        #: Cap-control law; Eq. 1 CUBIC unless an alternative is injected
+        #: (the ad-hoc ablation of §III-C uses AdHocController here).
+        self.controller = controller or CubicController(self.config)
+        #: Controller state per (vm_name, resource) with resource in
+        #: {"io", "cpu"}.
+        self.cap_states: Dict[Tuple[str, str], CapState] = {}
+        #: Applied-cap history for Fig. 10: (vm, resource) -> TimeSeries of
+        #: normalized caps (1.0 = pre-throttle usage; NaN-free).
+        self.cap_history: Dict[Tuple[str, str], TimeSeries] = {}
+        #: (time, vm, resource, normalized_cap) actuation events.
+        self.actions: List[tuple] = []
+        self._task = None
+        if autostart:
+            self.start()
+
+    # ----------------------------------------------------------------- loop
+    def start(self) -> None:
+        """Begin (or resume) the periodic control loop."""
+        if self._task is None or self._task.stopped:
+            self._task = self.sim.every(
+                self.config.interval_s,
+                self.control_interval,
+                name=f"node-manager-{self.host_name}",
+            )
+
+    def stop(self) -> None:
+        """Halt the control loop (existing caps stay as they are)."""
+        if self._task is not None:
+            self._task.stop()
+
+    def control_interval(self) -> None:
+        """One pass of Algorithm 1."""
+        now = self.sim.now
+        instances = self.cloud.instances_on_host(self.host_name)
+        high = [i for i in instances if i.is_high_priority and i.app_id]
+        low = [i for i in instances if not i.is_high_priority]
+
+        samples = self.monitor.sample(now)
+
+        app_members: Dict[str, List[str]] = {}
+        for info in high:
+            app_members.setdefault(info.app_id, []).append(info.name)
+        if len(app_members) > 1:
+            self.cloud.report_conflict(
+                self.host_name, sorted(app_members), now
+            )
+        if not app_members:
+            self._record_cap_history(now)
+            return
+
+        detections = self.detector.evaluate(now, samples, app_members)
+        if not low:
+            # Nothing to identify or throttle; detection history still
+            # accumulates (the paper's "running alone" baselines).
+            self._record_cap_history(now)
+            return
+
+        io_contention = any(d.io_contention for d in detections.values())
+        cpu_contention = any(d.cpu_contention for d in detections.values())
+
+        io_antagonists: Set[str] = set()
+        cpu_antagonists: Set[str] = set()
+        for app_id in app_members:
+            io_res = self.identifier.identify(
+                "io",
+                self.detector.signal(app_id, "io"),
+                self._suspect_series(low, "io_bytes_ps"),
+                now,
+            )
+            cpu_res = self.identifier.identify(
+                "cpu",
+                self.detector.signal(app_id, "cpi"),
+                self._suspect_series(low, "llc_miss_rate"),
+                now,
+            )
+            io_antagonists |= io_res.antagonists
+            cpu_antagonists |= cpu_res.antagonists
+
+        self._control("io", io_antagonists, io_contention, samples, now)
+        self._control("cpu", cpu_antagonists, cpu_contention, samples, now)
+        self._record_cap_history(now)
+
+    # ------------------------------------------------------------- internals
+    def _suspect_series(self, low, metric: str) -> Dict[str, TimeSeries]:
+        out: Dict[str, TimeSeries] = {}
+        for info in low:
+            hist = self.monitor.history.get(info.name)
+            if hist is not None:
+                out[info.name] = hist[metric]
+        return out
+
+    def _control(
+        self,
+        resource: str,
+        antagonists: Set[str],
+        contention: bool,
+        samples: Dict[str, VmSample],
+        now: float,
+    ) -> None:
+        # Every existing cap keeps evolving (cubic recovery must continue
+        # even after a VM ages out of the antagonist set), while *new* caps
+        # are only created for identified antagonists at a moment of actual
+        # contention — Eq. 1 starts from a multiplicative decrease of the
+        # observed usage.
+        tracked = {vm for (vm, r) in self.cap_states if r == resource}
+        for vm_name in sorted(antagonists | tracked):
+            key = (vm_name, resource)
+            state = self.cap_states.get(key)
+            is_antagonist = vm_name in antagonists
+            if state is None:
+                if not (contention and is_antagonist):
+                    continue
+                usage = self._observed_usage(vm_name, resource, samples)
+                if usage is None or usage <= 0:
+                    continue
+                state = self.controller.start(usage)
+                self.cap_states[key] = state
+            was_released = state.released
+            self.controller.update(state, contention and is_antagonist)
+            self._actuate(vm_name, resource, state, was_released, now)
+            if state.released and not is_antagonist:
+                # Fully recovered and no longer implicated: retire the
+                # controller state (a fresh episode restarts from the
+                # then-observed usage).
+                del self.cap_states[key]
+
+    def _observed_usage(
+        self, vm_name: str, resource: str, samples: Dict[str, VmSample]
+    ) -> Optional[float]:
+        s = samples.get(vm_name)
+        if s is None:
+            return None
+        if resource == "io":
+            return s.io_bytes_ps
+        return s.cpu_usage_cores
+
+    def _actuate(
+        self,
+        vm_name: str,
+        resource: str,
+        state: CapState,
+        was_released: bool,
+        now: float,
+    ) -> None:
+        try:
+            dom = self.conn.lookupByName(vm_name)
+        except LibvirtError:
+            return  # VM left the host between sampling and actuation
+        if state.released:
+            if not was_released:
+                self._clear_cap(dom, resource)
+                self.actions.append((now, vm_name, resource, None))
+            return
+        cap = state.absolute_cap
+        if resource == "io":
+            dom.setBlockIoTune("vda", {"total_bytes_sec": cap})
+        else:
+            cores = max(cap, dom.vcpus() * 0.01)
+            quota = max(1000, int(round(cores / dom.vcpus() * VCPU_PERIOD_US)))
+            dom.setSchedulerParameters(
+                {"vcpu_quota": quota, "vcpu_period": VCPU_PERIOD_US}
+            )
+        self.actions.append((now, vm_name, resource, state.cap))
+
+    def _clear_cap(self, dom: Domain, resource: str) -> None:
+        if resource == "io":
+            dom.setBlockIoTune("vda", {"total_bytes_sec": 0})
+        else:
+            dom.setSchedulerParameters({"vcpu_quota": -1})
+
+    def _record_cap_history(self, now: float) -> None:
+        for key, state in self.cap_states.items():
+            ts = self.cap_history.setdefault(
+                key, TimeSeries(name=f"{key[0]}.{key[1]}.cap")
+            )
+            ts.append(now, state.cap if not state.released else float("nan"))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NodeManager(host={self.host_name!r}, caps={len(self.cap_states)})"

@@ -1,0 +1,74 @@
+"""PerfCloud system assembly (paper Fig. 8).
+
+"PerfCloud ... is composed of lightweight and decentralized agents that
+run on individual physical servers in a cloud datacenter.  Each agent,
+called the node manager, is responsible for the performance isolation of
+high priority data-intensive applications hosted on a physical server."
+
+:class:`PerfCloud` deploys one :class:`~repro.core.node_manager.NodeManager`
+per host against the cloud manager.  There is deliberately **no** central
+decision-making: the only global component is the cloud manager's
+inventory API, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.config import PerfCloudConfig
+from repro.core.node_manager import NodeManager
+from repro.sim.engine import Simulator
+
+__all__ = ["PerfCloud"]
+
+
+class PerfCloud:
+    """The deployed system: one node-manager agent per physical server."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud,
+        config: Optional[PerfCloudConfig] = None,
+        *,
+        hosts: Optional[List[str]] = None,
+        autostart: bool = True,
+        controller_factory=None,
+    ) -> None:
+        self.sim = sim
+        self.cloud = cloud
+        self.config = config or PerfCloudConfig()
+        self.controller_factory = controller_factory
+        self.node_managers: Dict[str, NodeManager] = {}
+        for host in hosts if hosts is not None else cloud.hosts():
+            self.node_managers[host] = NodeManager(
+                sim, host, cloud, self.config, autostart=autostart,
+                controller=controller_factory() if controller_factory else None,
+            )
+
+    def add_host(self, host_name: str) -> NodeManager:
+        """Deploy an agent on a host added after construction."""
+        if host_name in self.node_managers:
+            raise ValueError(f"agent already deployed on {host_name!r}")
+        nm = NodeManager(
+            self.sim, host_name, self.cloud, self.config,
+            controller=self.controller_factory() if self.controller_factory else None,
+        )
+        self.node_managers[host_name] = nm
+        return nm
+
+    def stop(self) -> None:
+        """Halt every agent's control loop."""
+        for nm in self.node_managers.values():
+            nm.stop()
+
+    # ----------------------------------------------------------------- query
+    def throttle_events(self) -> List[tuple]:
+        """All actuation events across hosts, time-ordered."""
+        events = []
+        for nm in self.node_managers.values():
+            events.extend(nm.actions)
+        return sorted(events)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PerfCloud(agents={len(self.node_managers)})"

@@ -1,0 +1,95 @@
+"""Comparison policies for the Fig. 9(c) evaluation.
+
+* :class:`DefaultPolicy` — the default system: no resource capping at all
+  (the do-nothing strawman every figure normalizes against);
+* :class:`StaticCapPolicy` — the paper's static alternative: a fixed
+  20 % I/O cap on the fio VM and a 20 % CPU cap on the STREAM VM.  It
+  isolates about as well as PerfCloud on the victim (33 % vs 31 % in the
+  paper) but keeps the antagonists throttled even when the high-priority
+  application is idle — the unwarranted-degradation cost PerfCloud's
+  dynamic control avoids.
+
+Both expose the same lifecycle as :class:`~repro.core.perfcloud.PerfCloud`
+so the experiment harness can swap them freely.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.sim.engine import Simulator
+from repro.virt.libvirt_api import VCPU_PERIOD_US
+
+__all__ = ["DefaultPolicy", "StaticCapPolicy"]
+
+
+class DefaultPolicy:
+    """No isolation: the baseline 'default system'."""
+
+    def __init__(self, sim: Simulator, cloud) -> None:
+        self.sim = sim
+        self.cloud = cloud
+
+    def stop(self) -> None:  # same lifecycle as PerfCloud
+        """Nothing to undo."""
+
+
+class StaticCapPolicy:
+    """Fixed fractional caps applied up-front to named antagonists.
+
+    ``io_caps`` maps VM name -> cap fraction of the VM's *unthrottled*
+    I/O throughput; ``cpu_caps`` likewise for CPU usage.  Baselines are
+    supplied by the caller (measured from an uncontended run), mirroring
+    how an operator would size a static 20 % cap.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        cloud,
+        *,
+        io_caps: Optional[Dict[str, Tuple[float, float]]] = None,
+        cpu_caps: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> None:
+        """``io_caps[vm] = (fraction, baseline_bytes_ps)``;
+        ``cpu_caps[vm] = (fraction, baseline_cores)``."""
+        self.sim = sim
+        self.cloud = cloud
+        self.io_caps = dict(io_caps or {})
+        self.cpu_caps = dict(cpu_caps or {})
+        self.applied: Dict[str, Dict[str, float]] = {}
+        self._apply()
+
+    def _apply(self) -> None:
+        for vm_name, (fraction, baseline) in self.io_caps.items():
+            if not 0 < fraction <= 1 or baseline <= 0:
+                raise ValueError(f"invalid I/O cap for {vm_name!r}")
+            host = self.cloud.cluster.vms[vm_name].host_name
+            dom = self.cloud.connection(host).lookupByName(vm_name)
+            cap = fraction * baseline
+            dom.setBlockIoTune("vda", {"total_bytes_sec": cap})
+            self.applied.setdefault(vm_name, {})["io"] = cap
+        for vm_name, (fraction, baseline) in self.cpu_caps.items():
+            if not 0 < fraction <= 1 or baseline <= 0:
+                raise ValueError(f"invalid CPU cap for {vm_name!r}")
+            host = self.cloud.cluster.vms[vm_name].host_name
+            dom = self.cloud.connection(host).lookupByName(vm_name)
+            cores = max(fraction * baseline, dom.vcpus() * 0.01)
+            quota = max(1000, int(round(cores / dom.vcpus() * VCPU_PERIOD_US)))
+            dom.setSchedulerParameters(
+                {"vcpu_quota": quota, "vcpu_period": VCPU_PERIOD_US}
+            )
+            self.applied.setdefault(vm_name, {})["cpu"] = cores
+
+    def stop(self) -> None:
+        """Remove the static caps."""
+        for vm_name, caps in self.applied.items():
+            if vm_name not in self.cloud.cluster.vms:
+                continue
+            host = self.cloud.cluster.vms[vm_name].host_name
+            dom = self.cloud.connection(host).lookupByName(vm_name)
+            if "io" in caps:
+                dom.setBlockIoTune("vda", {"total_bytes_sec": 0})
+            if "cpu" in caps:
+                dom.setSchedulerParameters({"vcpu_quota": -1})
+        self.applied.clear()

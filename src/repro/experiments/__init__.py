@@ -1,0 +1,34 @@
+"""Experiment harness: every figure in the paper's evaluation.
+
+:mod:`~repro.experiments.harness` builds testbeds (simulator + cluster +
+cloud manager + frameworks + antagonists) from declarative configs;
+:mod:`~repro.experiments.figures` contains one runner per paper figure
+(fig1 … fig12), each returning a plain-data result object whose fields
+mirror the figure's series; :mod:`~repro.experiments.report` renders
+those results as the text tables the benchmarks print.
+
+Runners accept size/seed parameters: the defaults are scaled to finish in
+seconds-to-minutes on a laptop while preserving the paper's shape; pass
+``full_scale=True`` (where available) for the paper's exact dimensions.
+"""
+
+from repro.experiments.harness import (
+    Testbed,
+    TestbedConfig,
+    build_testbed,
+    make_antagonist,
+)
+from repro.experiments import figures, sweeps
+from repro.experiments.report import render_table
+from repro.experiments.tracing import MetricTracer
+
+__all__ = [
+    "MetricTracer",
+    "Testbed",
+    "TestbedConfig",
+    "build_testbed",
+    "figures",
+    "sweeps",
+    "make_antagonist",
+    "render_table",
+]

@@ -1,0 +1,236 @@
+"""Testbed assembly for the evaluation scenarios.
+
+A :class:`TestbedConfig` declares the world (hosts, worker VMs, framework,
+antagonists); :func:`build_testbed` assembles it into a :class:`Testbed`
+whose fields expose every layer — so figure runners stay short and
+readable.  Antagonists can be attached at build time or injected later
+(the large-scale runs re-randomize their placement per job execution).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.cloud.nova import CloudManager
+from repro.core.config import PerfCloudConfig
+from repro.core.perfcloud import PerfCloud
+from repro.core.policies import StaticCapPolicy
+from repro.frameworks.hdfs import HdfsCluster
+from repro.frameworks.mapreduce.jobtracker import JobTracker
+from repro.frameworks.spark.driver import SparkScheduler
+from repro.frameworks.speculation import LateSpeculation, SpeculationPolicy
+from repro.hardware.specs import HostSpec, R630
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import VM, Priority
+from repro.workloads.antagonists import (
+    FioRandomRead,
+    StreamBenchmark,
+    SysbenchCpu,
+    SysbenchOltp,
+)
+
+__all__ = ["TestbedConfig", "Testbed", "build_testbed", "make_antagonist", "run_until"]
+
+#: Antagonist factory registry: name -> (flavor, driver factory).
+_ANTAGONISTS: Dict[str, Tuple[str, Callable[[], object]]] = {
+    "fio": ("m1.large", FioRandomRead),
+    "stream": ("m1.2xlarge", StreamBenchmark),
+    # Fig. 6's setup: small STREAM VMs that only hurt in groups.
+    "stream-small": ("m1.large", StreamBenchmark),
+    "oltp": ("m1.large", lambda: SysbenchOltp(duration_s=None)),
+    "sysbench-cpu": ("m1.large", SysbenchCpu),
+    # Episodic variants for the identification case studies (Figs. 5/6):
+    # distinct on/off phases are what the victim signal locks onto.
+    "fio-episodic": ("m1.large", lambda: FioRandomRead(on_s=30.0, off_s=20.0)),
+    "stream-episodic": (
+        "m1.large",
+        lambda: StreamBenchmark(threads=8, on_s=35.0, off_s=25.0),
+    ),
+}
+
+
+def make_antagonist(kind: str):
+    """Instantiate an antagonist driver by registry name."""
+    if kind not in _ANTAGONISTS:
+        raise KeyError(f"unknown antagonist {kind!r}; know {sorted(_ANTAGONISTS)}")
+    _, factory = _ANTAGONISTS[kind]
+    return factory()
+
+
+@dataclass
+class TestbedConfig:
+    """Declarative description of one experiment world."""
+
+    __test__ = False  # not a pytest collectable despite the Test* name
+
+    seed: int = 0
+    dt: float = 1.0
+    num_hosts: int = 1
+    #: Worker VMs total (spread across hosts round-robin).
+    num_workers: int = 6
+    framework: str = "mapreduce"  # "mapreduce" | "spark" | "both"
+    #: (kind, host_index) pairs; host_index None = same host as workers 0.
+    antagonists: Sequence[Tuple[str, Optional[int]]] = ()
+    host_spec: HostSpec = field(default_factory=lambda: R630)
+    speculation: Optional[SpeculationPolicy] = None
+    #: Job-ordering discipline: "fifo" (Hadoop default) or "fair".
+    scheduler_policy: str = "fifo"
+    app_id: str = "app"
+
+    def __post_init__(self) -> None:
+        if self.num_hosts < 1 or self.num_workers < 1:
+            raise ValueError("need at least one host and one worker")
+
+
+@dataclass
+class Testbed:
+    """The assembled world."""
+
+    __test__ = False  # not a pytest collectable despite the Test* name
+
+    config: TestbedConfig
+    sim: Simulator
+    cluster: Cluster
+    cloud: CloudManager
+    workers: List[VM]
+    hdfs: HdfsCluster
+    jobtracker: Optional[JobTracker]
+    spark: Optional[SparkScheduler]
+    antagonist_vms: Dict[str, VM]
+    antagonist_drivers: Dict[str, object]
+    perfcloud: Optional[PerfCloud] = None
+    static_policy: Optional[StaticCapPolicy] = None
+
+    # ------------------------------------------------------------ modifiers
+    def deploy_perfcloud(
+        self,
+        config: Optional[PerfCloudConfig] = None,
+        *,
+        controller_factory=None,
+    ) -> PerfCloud:
+        """Deploy one node-manager agent per host (optionally with an
+        alternative cap-control law for ablations)."""
+        self.perfcloud = PerfCloud(
+            self.sim, self.cloud, config, controller_factory=controller_factory
+        )
+        return self.perfcloud
+
+    def add_antagonist(
+        self, name: str, kind: str, host: Optional[str] = None
+    ) -> VM:
+        """Boot one more antagonist VM (used by re-randomizing runs)."""
+        flavor, _ = _ANTAGONISTS[kind]
+        vm = self.cloud.boot(
+            name, flavor, priority=Priority.LOW, host=host
+        )
+        driver = make_antagonist(kind)
+        vm.attach_workload(driver)
+        self.antagonist_vms[name] = vm
+        self.antagonist_drivers[name] = driver
+        return vm
+
+    def node_manager(self, host: str = None):
+        """The deployed agent on ``host`` (default: the first host)."""
+        if self.perfcloud is None:
+            raise RuntimeError("PerfCloud not deployed on this testbed")
+        host = host or sorted(self.cluster.hosts)[0]
+        return self.perfcloud.node_managers[host]
+
+    # --------------------------------------------------------------- helpers
+    def run(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.sim.run_for(duration)
+
+    def host_of_workers(self) -> str:
+        """Host of the first worker (the single-host scenarios' host)."""
+        return self.workers[0].host_name
+
+
+def build_testbed(config: TestbedConfig) -> Testbed:
+    """Assemble a testbed from its config."""
+    sim = Simulator(dt=config.dt, seed=config.seed)
+    cluster = Cluster(sim, default_spec=config.host_spec)
+    for i in range(config.num_hosts):
+        cluster.add_host(f"server{i:02d}")
+    cloud = CloudManager(cluster)
+
+    hosts = sorted(cluster.hosts)
+    workers: List[VM] = []
+    for i in range(config.num_workers):
+        workers.append(
+            cloud.boot(
+                f"worker{i:03d}",
+                "m1.large",
+                priority=Priority.HIGH,
+                app_id=config.app_id,
+                host=hosts[i % len(hosts)],
+            )
+        )
+    hdfs = HdfsCluster(
+        [w.name for w in workers], sim.rng.stream("hdfs"), replication=3
+    )
+
+    jobtracker = None
+    spark = None
+    if config.framework in ("mapreduce", "both"):
+        jobtracker = JobTracker(
+            sim, workers, hdfs, speculation=config.speculation,
+            policy=config.scheduler_policy,
+        )
+    if config.framework in ("spark", "both"):
+        spark = SparkScheduler(
+            sim, workers, hdfs, speculation=config.speculation, name="spark",
+            policy=config.scheduler_policy,
+        )
+    if jobtracker is None and spark is None:
+        raise ValueError(f"unknown framework {config.framework!r}")
+    if jobtracker is not None and spark is not None:
+        # Both slave daemons colocate on every worker node (paper §IV-A):
+        # multiplex the two executors onto each VM.
+        from repro.frameworks.executor import CompositeDriver
+
+        for vm in workers:
+            vm.attach_workload(
+                CompositeDriver(
+                    [jobtracker.executors[vm.name], spark.executors[vm.name]]
+                )
+            )
+
+    testbed = Testbed(
+        config=config,
+        sim=sim,
+        cluster=cluster,
+        cloud=cloud,
+        workers=workers,
+        hdfs=hdfs,
+        jobtracker=jobtracker,
+        spark=spark,
+        antagonist_vms={},
+        antagonist_drivers={},
+    )
+    counters: Dict[str, int] = {}
+    for kind, host_idx in config.antagonists:
+        counters[kind] = counters.get(kind, 0) + 1
+        suffix = "" if counters[kind] == 1 else f"-{counters[kind]}"
+        host = hosts[host_idx % len(hosts)] if host_idx is not None else hosts[0]
+        testbed.add_antagonist(f"{kind}{suffix}", kind, host=host)
+    return testbed
+
+
+def run_until(
+    sim: Simulator,
+    predicate: Callable[[], bool],
+    horizon: float,
+    check_every: float = 5.0,
+) -> bool:
+    """Advance the simulation until ``predicate()`` or ``horizon``.
+
+    Returns True if the predicate was satisfied.
+    """
+    while sim.now < horizon:
+        if predicate():
+            return True
+        sim.run(min(sim.now + check_every, horizon))
+    return predicate()

@@ -1,0 +1,50 @@
+"""Plain-text rendering of figure results.
+
+The benchmark harness prints these tables so a run's output can be read
+side by side with the paper's figures; EXPERIMENTS.md archives one run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "format_pct", "format_series"]
+
+
+def format_pct(x: float, signed: bool = True) -> str:
+    """Render a fraction as a (signed) whole percentage."""
+    s = f"{x * 100:+.0f}%" if signed else f"{x * 100:.0f}%"
+    return s
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Monospace table with column auto-sizing."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(row: Sequence[str]) -> str:
+        return "  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(cells[0]))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def format_series(series, every: int = 1, precision: int = 2) -> str:
+    """Compact `(t, v)` series rendering for timeline figures."""
+    picked = list(series)[::every]
+    return " ".join(f"{t:.0f}s:{v:.{precision}f}" for t, v in picked)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3g}"
+    return str(value)

@@ -1,0 +1,112 @@
+"""Parameter-sensitivity sweeps for the CUBIC control law.
+
+The paper sets β = 0.8 and γ = 0.005 "empirically ... to achieve good
+performance isolation in a timely manner, while avoiding unwarranted
+performance degradation of antagonists" (§III-C) without showing the
+trade-off surface.  These sweeps expose it:
+
+* analytically — recovery horizon K(β, γ) and post-decrease depth; and
+* in closed loop — victim JCT vs. antagonist throughput across the grid,
+  on the Fig. 9-style single-host scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.config import PerfCloudConfig
+from repro.core.cubic import CubicController
+from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.workloads.datagen import teragen
+from repro.workloads.puma import terasort
+
+__all__ = ["CubicSweepPoint", "analytic_sweep", "closed_loop_sweep"]
+
+
+@dataclass
+class CubicSweepPoint:
+    """One (β, γ) grid point's outcomes."""
+
+    beta: float
+    gamma: float
+    #: Intervals from a decrease back to C_max (analytic K).
+    recovery_intervals: float
+    #: Cap level right after a decrease (1 - β).
+    decrease_depth: float
+    #: Closed loop (None for analytic-only sweeps):
+    victim_jct: float | None = None
+    antagonist_ops_per_s: float | None = None
+
+
+def analytic_sweep(
+    betas: Sequence[float] = (0.5, 0.65, 0.8, 0.9),
+    gammas: Sequence[float] = (0.001, 0.005, 0.02),
+) -> List[CubicSweepPoint]:
+    """K and depth across the grid — no simulation required."""
+    out = []
+    for beta in betas:
+        for gamma in gammas:
+            cfg = PerfCloudConfig(beta=beta, gamma=gamma)
+            controller = CubicController(cfg)
+            out.append(
+                CubicSweepPoint(
+                    beta=beta,
+                    gamma=gamma,
+                    recovery_intervals=controller.k(1.0),
+                    decrease_depth=1.0 - beta,
+                )
+            )
+    return out
+
+
+def closed_loop_sweep(
+    betas: Sequence[float] = (0.5, 0.8),
+    gammas: Sequence[float] = (0.001, 0.005, 0.02),
+    seeds: Sequence[int] = (3, 7),
+    *,
+    size_mb: float = 960.0,
+) -> List[CubicSweepPoint]:
+    """Victim JCT and antagonist throughput across the (β, γ) grid.
+
+    Small γ → slow recovery → strong protection, heavy antagonist cost;
+    large γ → fast probing → lighter antagonist cost, weaker protection.
+    """
+    out = []
+    for beta in betas:
+        for gamma in gammas:
+            cfg = PerfCloudConfig(beta=beta, gamma=gamma)
+            jcts = []
+            ant_rates = []
+            for seed in seeds:
+                testbed = build_testbed(
+                    TestbedConfig(
+                        seed=seed, num_workers=6, framework="mapreduce",
+                        antagonists=(("fio", None),),
+                    )
+                )
+                testbed.deploy_perfcloud(cfg)
+                job = testbed.jobtracker.submit(
+                    terasort(), teragen(size_mb), int(size_mb // 64)
+                )
+                if not run_until(
+                    testbed.sim, lambda: job.completion_time is not None, 8000
+                ):
+                    raise RuntimeError("sweep run did not finish")
+                jcts.append(job.completion_time)
+                fio = testbed.antagonist_drivers["fio"]
+                ant_rates.append(fio.iops.total / testbed.sim.now)
+            controller = CubicController(cfg)
+            out.append(
+                CubicSweepPoint(
+                    beta=beta,
+                    gamma=gamma,
+                    recovery_intervals=controller.k(1.0),
+                    decrease_depth=1.0 - beta,
+                    victim_jct=float(np.mean(jcts)),
+                    antagonist_ops_per_s=float(np.mean(ant_rates)),
+                )
+            )
+    return out

@@ -1,0 +1,58 @@
+"""Scale-out data-processing frameworks (the paper's victim applications).
+
+PerfCloud's whole premise is that the *application* is a black box: the
+node manager never talks to these frameworks.  They exist in the
+reproduction so that stragglers, job-completion times and the baselines'
+behaviour (LATE speculation, Dolly cloning) *emerge* from the simulated
+resource contention rather than being scripted.
+
+Layout:
+
+* :mod:`~repro.frameworks.jobs` — framework-agnostic Job/Task/TaskAttempt
+  lifecycle with per-dimension work tracking and the utilization ledger
+  behind Fig. 11(c);
+* :mod:`~repro.frameworks.executor` — the per-VM slot executor that turns
+  running attempts into resource demand (a
+  :class:`~repro.workloads.base.WorkloadDriver`);
+* :mod:`~repro.frameworks.hdfs` — block placement and locality;
+* :mod:`~repro.frameworks.mapreduce` — Hadoop-like JobTracker;
+* :mod:`~repro.frameworks.spark` — Spark-like driver with cached RDDs;
+* :mod:`~repro.frameworks.speculation` — speculative-execution policies,
+  including the LATE baseline;
+* :mod:`~repro.frameworks.cloning` — the Dolly job-cloning baseline.
+"""
+
+from repro.frameworks.jobs import (
+    Job,
+    JobState,
+    Task,
+    TaskAttempt,
+    TaskState,
+    TaskWork,
+    UtilizationLedger,
+)
+from repro.frameworks.executor import CompositeDriver, ExecutorDriver
+from repro.frameworks.hdfs import HdfsCluster
+from repro.frameworks.speculation import LateSpeculation, NoSpeculation, SpeculationPolicy
+from repro.frameworks.cloning import DollyCloner
+from repro.frameworks.mapreduce.jobtracker import JobTracker
+from repro.frameworks.spark.driver import SparkScheduler
+
+__all__ = [
+    "CompositeDriver",
+    "DollyCloner",
+    "ExecutorDriver",
+    "HdfsCluster",
+    "Job",
+    "JobState",
+    "JobTracker",
+    "LateSpeculation",
+    "NoSpeculation",
+    "SparkScheduler",
+    "SpeculationPolicy",
+    "Task",
+    "TaskAttempt",
+    "TaskState",
+    "TaskWork",
+    "UtilizationLedger",
+]

@@ -1,0 +1,106 @@
+"""Dolly: proactive job-level cloning (Ananthanarayanan et al., NSDI'13).
+
+The paper's second baseline "avoids waiting and speculation altogether"
+by submitting *n* full clones of each (small) job and taking the first
+clone that finishes; the rest are killed.  The paper uses Dolly's
+job-level cloning rather than task-level cloning, since the latter
+requires framework modification (§IV-C) — and so do we.
+
+Effectiveness grows with the clone count (a clone placed away from
+antagonists finishes fast), but every killed clone's task-time is waste,
+which is what collapses Dolly's resource-utilization efficiency as *n*
+grows (Fig. 11c).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, List, Optional
+
+from repro.frameworks.jobs import Job, JobState
+from repro.frameworks.scheduler import FrameworkScheduler
+
+__all__ = ["LogicalJob", "DollyCloner"]
+
+
+class LogicalJob:
+    """The user-visible job behind a set of clones."""
+
+    def __init__(self, logical_id: str, submit_time: float) -> None:
+        self.id = logical_id
+        self.submit_time = submit_time
+        self.clones: List[Job] = []
+        self.winner: Optional[Job] = None
+        self.finish_time: Optional[float] = None
+
+    @property
+    def completion_time(self) -> Optional[float]:
+        """First-winner JCT: winner finish minus logical submit."""
+        if self.finish_time is None:
+            return None
+        return self.finish_time - self.submit_time
+
+    @property
+    def done(self) -> bool:
+        """Whether some clone has finished."""
+        return self.winner is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LogicalJob({self.id!r}, clones={len(self.clones)}, done={self.done})"
+
+
+class DollyCloner:
+    """Submits each logical job as ``num_clones`` clones, first-wins."""
+
+    def __init__(self, scheduler: FrameworkScheduler, num_clones: int = 2) -> None:
+        if num_clones < 1:
+            raise ValueError(f"num_clones must be >= 1, got {num_clones!r}")
+        self.scheduler = scheduler
+        self.num_clones = int(num_clones)
+        self.logical_jobs: Dict[str, LogicalJob] = {}
+        self._ids = itertools.count()
+        scheduler.completion_listeners.append(self._on_job_complete)
+
+    def submit(self, factory: Callable[[Optional[str]], Job]) -> LogicalJob:
+        """Submit one logical job.
+
+        ``factory(clone_of)`` must create and enqueue one clone on the
+        wrapped scheduler, passing ``clone_of`` through to the job — e.g.
+        ``lambda tag: jt.submit(spec, dataset, reducers, clone_of=tag)``.
+        """
+        logical_id = f"dolly-{next(self._ids):04d}"
+        logical = LogicalJob(logical_id, self.scheduler.sim.now)
+        self.logical_jobs[logical_id] = logical
+        for _ in range(self.num_clones):
+            clone = factory(logical_id)
+            if clone.clone_of != logical_id:
+                raise ValueError(
+                    "factory must pass clone_of through to the submitted job"
+                )
+            logical.clones.append(clone)
+        return logical
+
+    # ------------------------------------------------------------- internals
+    def _on_job_complete(self, job: Job) -> None:
+        if job.clone_of is None:
+            return
+        logical = self.logical_jobs.get(job.clone_of)
+        if logical is None or logical.done:
+            return
+        logical.winner = job
+        logical.finish_time = job.finish_time
+        for clone in logical.clones:
+            if clone is not job and clone.state in (
+                JobState.PENDING,
+                JobState.RUNNING,
+            ):
+                self.scheduler.kill_job(clone)
+
+    # ----------------------------------------------------------------- query
+    def all_done(self) -> bool:
+        """Whether every logical job has a winner."""
+        return all(lj.done for lj in self.logical_jobs.values())
+
+    def completed(self) -> List[LogicalJob]:
+        """Logical jobs whose winner has finished."""
+        return [lj for lj in self.logical_jobs.values() if lj.done]

@@ -1,0 +1,129 @@
+"""Minimal HDFS model: files, blocks, replica placement, locality.
+
+Only what the evaluation needs: a file is a sequence of fixed-size blocks,
+each replicated on ``replication`` distinct datanodes (worker VMs).  Map
+tasks prefer a replica holder (data-local execution); a task scheduled
+elsewhere pays a remote read over the network.
+
+Placement follows HDFS's spirit without rack awareness (the paper's
+virtual clusters are rack-flat): the first replica lands round-robin
+across datanodes so blocks — and therefore map tasks — spread evenly,
+and remaining replicas land on distinct random nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.workloads.datagen import Dataset
+
+__all__ = ["HdfsBlock", "HdfsFile", "HdfsCluster"]
+
+
+@dataclass(frozen=True)
+class HdfsBlock:
+    """One block: identity, size and replica holders."""
+
+    block_id: str
+    size_mb: float
+    replicas: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.size_mb <= 0:
+            raise ValueError("block size must be positive")
+        if not self.replicas:
+            raise ValueError("a block needs at least one replica")
+        if len(set(self.replicas)) != len(self.replicas):
+            raise ValueError("replica holders must be distinct")
+
+
+@dataclass
+class HdfsFile:
+    """A named file: ordered blocks."""
+
+    name: str
+    blocks: List[HdfsBlock] = field(default_factory=list)
+
+    @property
+    def size_mb(self) -> float:
+        """Total file size across its blocks."""
+        return sum(b.size_mb for b in self.blocks)
+
+
+class HdfsCluster:
+    """Namespace plus block placement over a set of datanode VMs."""
+
+    def __init__(
+        self,
+        datanodes: Sequence[str],
+        rng: np.random.Generator,
+        replication: int = 3,
+    ) -> None:
+        if not datanodes:
+            raise ValueError("HDFS needs at least one datanode")
+        if replication < 1:
+            raise ValueError("replication must be >= 1")
+        self.datanodes = list(datanodes)
+        self.replication = min(replication, len(self.datanodes))
+        self._rng = rng
+        self._files: Dict[str, HdfsFile] = {}
+        self._rr = 0  # round-robin cursor for first replicas
+
+    # ------------------------------------------------------------------ write
+    def create_file(self, dataset: Dataset) -> HdfsFile:
+        """Materialize a dataset as a file (idempotent per dataset name)."""
+        if dataset.name in self._files:
+            return self._files[dataset.name]
+        f = HdfsFile(name=dataset.name)
+        remaining = dataset.size_mb
+        for i in range(dataset.num_blocks):
+            size = min(dataset.block_mb, remaining)
+            remaining -= size
+            f.blocks.append(
+                HdfsBlock(
+                    block_id=f"{dataset.name}/blk{i:05d}",
+                    size_mb=max(size, 1e-6),
+                    replicas=self._place_replicas(),
+                )
+            )
+        self._files[dataset.name] = f
+        return f
+
+    def _place_replicas(self) -> Tuple[str, ...]:
+        first = self.datanodes[self._rr % len(self.datanodes)]
+        self._rr += 1
+        holders = [first]
+        others = [d for d in self.datanodes if d != first]
+        if self.replication > 1 and others:
+            extra = self._rng.choice(
+                len(others), size=min(self.replication - 1, len(others)), replace=False
+            )
+            holders.extend(others[int(i)] for i in extra)
+        return tuple(holders)
+
+    # ------------------------------------------------------------------- read
+    def get_file(self, name: str) -> HdfsFile:
+        """Look up a file by name (KeyError if absent)."""
+        if name not in self._files:
+            raise KeyError(f"no such HDFS file {name!r}")
+        return self._files[name]
+
+    def has_file(self, name: str) -> bool:
+        """Whether a file of that name exists."""
+        return name in self._files
+
+    def blocks_on(self, datanode: str) -> List[HdfsBlock]:
+        """All blocks with a replica on ``datanode``."""
+        out = []
+        for f in self._files.values():
+            out.extend(b for b in f.blocks if datanode in b.replicas)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HdfsCluster(datanodes={len(self.datanodes)}, "
+            f"files={len(self._files)}, replication={self.replication})"
+        )

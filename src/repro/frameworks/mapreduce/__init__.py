@@ -1,0 +1,5 @@
+"""Hadoop-like MapReduce framework model."""
+
+from repro.frameworks.mapreduce.jobtracker import JobTracker, MapReduceJob
+
+__all__ = ["JobTracker", "MapReduceJob"]

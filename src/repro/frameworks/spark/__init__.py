@@ -1,0 +1,5 @@
+"""Spark-like framework model: driver, stages, cached RDDs."""
+
+from repro.frameworks.spark.driver import SparkApplication, SparkScheduler
+
+__all__ = ["SparkApplication", "SparkScheduler"]

@@ -1,0 +1,149 @@
+"""Speculative-execution policies, including the LATE baseline.
+
+The paper compares PerfCloud against LATE (Zaharia et al., OSDI'08): a
+scheduler that estimates each running task's time-to-finish from its
+progress rate, and — when slots are free and no pending work remains —
+relaunches a copy of the task expected to finish *latest*, provided the
+task is genuinely slow and the host slot is not itself a laggard.
+
+The key property the paper criticizes is inherent to the design: LATE
+must *wait and observe* a task before declaring it slow, so detection
+lags interference by design (§I, §V); and every speculative copy burns a
+slot and is eventually killed if the original wins, which is what drags
+the resource-utilization efficiency in Fig. 11(c).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.frameworks.jobs import Task, TaskAttempt
+
+__all__ = ["SpeculationPolicy", "NoSpeculation", "LateSpeculation"]
+
+
+class SpeculationPolicy(abc.ABC):
+    """Decides which running task (if any) deserves a speculative copy."""
+
+    @abc.abstractmethod
+    def select_task(
+        self,
+        candidates: List[Task],
+        free_vm: str,
+        now: float,
+        *,
+        total_slots: int,
+        speculative_running: int,
+    ) -> Optional[Task]:
+        """Pick a task to speculate on ``free_vm``, or None."""
+
+    def observe_completion(self, attempt: TaskAttempt) -> None:
+        """Hook: learn per-VM speed from finished attempts (optional)."""
+
+
+class NoSpeculation(SpeculationPolicy):
+    """Default policy for PerfCloud runs: never speculate."""
+
+    def select_task(self, candidates, free_vm, now, *, total_slots, speculative_running):
+        """Never pick anything."""
+        return None
+
+
+class LateSpeculation(SpeculationPolicy):
+    """Longest Approximate Time to End.
+
+    Parameters mirror the published heuristics:
+
+    * ``speculative_cap`` — max fraction of slots running speculative
+      copies at once (default 0.1);
+    * ``slow_task_pct`` — only tasks whose progress *rate* is below this
+      percentile of currently running tasks may be speculated (default 25);
+    * ``slow_node_pct`` — never launch speculative work on a VM whose
+      historical attempt speed is below this percentile (default 25);
+    * ``min_runtime_s`` — observation time before a task can be judged.
+    """
+
+    def __init__(
+        self,
+        speculative_cap: float = 0.1,
+        slow_task_pct: float = 25.0,
+        slow_node_pct: float = 25.0,
+        min_runtime_s: float = 15.0,
+    ) -> None:
+        if not 0.0 < speculative_cap <= 1.0:
+            raise ValueError("speculative_cap must be in (0, 1]")
+        if not 0 <= slow_task_pct <= 100 or not 0 <= slow_node_pct <= 100:
+            raise ValueError("percentiles must be within [0, 100]")
+        self.speculative_cap = speculative_cap
+        self.slow_task_pct = slow_task_pct
+        self.slow_node_pct = slow_node_pct
+        self.min_runtime_s = min_runtime_s
+        #: EWMA of observed progress rates per VM (node-speed estimate).
+        self._vm_speed: Dict[str, float] = {}
+
+    # --------------------------------------------------------------- learning
+    def observe_completion(self, attempt: TaskAttempt) -> None:
+        """Fold a finished attempt into the per-VM speed estimates."""
+        if attempt.runtime <= 0:
+            return
+        rate = 1.0 / attempt.runtime
+        prev = self._vm_speed.get(attempt.vm_name)
+        self._vm_speed[attempt.vm_name] = (
+            rate if prev is None else 0.7 * prev + 0.3 * rate
+        )
+
+    def _node_is_slow(self, vm: str) -> bool:
+        speeds = list(self._vm_speed.values())
+        if len(speeds) < 4 or vm not in self._vm_speed:
+            return False
+        threshold = float(np.percentile(speeds, self.slow_node_pct))
+        return self._vm_speed[vm] < threshold
+
+    # -------------------------------------------------------------- selection
+    def select_task(
+        self,
+        candidates: List[Task],
+        free_vm: str,
+        now: float,
+        *,
+        total_slots: int,
+        speculative_running: int,
+    ) -> Optional[Task]:
+        """LATE's pick: slowest estimated finisher among slow tasks."""
+        if speculative_running >= max(1, int(self.speculative_cap * total_slots)):
+            return None
+        if self._node_is_slow(free_vm):
+            return None
+
+        # Consider tasks with exactly one live attempt that has run long
+        # enough, is not already on this VM, and reports a usable rate.
+        observed: List[tuple] = []
+        rates: List[float] = []
+        for task in candidates:
+            live = task.running_attempts
+            if len(live) != 1 or task.completed:
+                continue
+            attempt = live[0]
+            if attempt.vm_name == free_vm:
+                continue
+            if now - attempt.start_time < self.min_runtime_s:
+                continue
+            rate = attempt.progress_rate()
+            rates.append(rate)
+            observed.append((task, attempt, rate))
+        if not observed:
+            return None
+        slow_cut = float(np.percentile(rates, self.slow_task_pct))
+        slow = [
+            (task, attempt)
+            for task, attempt, rate in observed
+            if rate <= slow_cut + 1e-12
+        ]
+        if not slow:
+            return None
+        # Longest estimated time to end first.
+        slow.sort(key=lambda ta: (-ta[1].estimated_time_left(), ta[0].id))
+        return slow[0][0]

@@ -1,0 +1,57 @@
+"""Physical-server resource models.
+
+A :class:`~repro.hardware.host.PhysicalHost` composes four shared-resource
+models, each of which reproduces the contention phenomenology the paper's
+detection metrics rely on:
+
+* :mod:`~repro.hardware.cpu` — weighted water-filling of cores with hard
+  caps (the actuator behind ``vcpu_quota``);
+* :mod:`~repro.hardware.disk` — a block device with IOPS/byte capacity and
+  a congestion-dependent queueing-delay model whose *cross-VM variance*
+  grows with utilization — this is what makes the standard deviation of
+  the block-iowait ratio an interference signal (§III-A1);
+* :mod:`~repro.hardware.memsys` — LLC occupancy sharing plus memory-
+  bandwidth saturation, inflating per-VM CPI under pressure (§III-A2);
+* :mod:`~repro.hardware.network` — NIC-constrained max-min flow sharing
+  for shuffle traffic.
+
+All models are *fluid*: per simulation step they translate per-VM demand
+vectors into grant vectors.  None of them knows about VMs, priorities or
+cgroups — that wiring lives in :mod:`repro.virt`.
+"""
+
+from repro.hardware.resources import (
+    NetFlowDemand,
+    PerfProfile,
+    ResourceDemand,
+    ResourceGrant,
+)
+from repro.hardware.specs import DiskSpec, HostSpec, MemSpec, NicSpec
+from repro.hardware.cpu import allocate_cpu
+from repro.hardware.disk import BlockDevice, DiskGrant
+from repro.hardware.memsys import MemorySystem, MemOutcome
+from repro.hardware.network import NetworkFabric
+from repro.hardware.host import PhysicalHost
+from repro.hardware.jitter import PersistentBias
+from repro.hardware.numa import NumaMemorySystem, numa_isolate
+
+__all__ = [
+    "BlockDevice",
+    "DiskGrant",
+    "DiskSpec",
+    "HostSpec",
+    "MemOutcome",
+    "MemSpec",
+    "MemorySystem",
+    "NetFlowDemand",
+    "PerfProfile",
+    "NetworkFabric",
+    "NicSpec",
+    "NumaMemorySystem",
+    "PersistentBias",
+    "PhysicalHost",
+    "ResourceDemand",
+    "ResourceGrant",
+    "allocate_cpu",
+    "numa_isolate",
+]

@@ -1,0 +1,89 @@
+"""CPU core allocation: weighted water-filling with hard caps.
+
+Models the KVM/CFS behaviour PerfCloud manipulates: every VM receives a
+fair share weighted by its vCPU count, unused share spills over to busier
+VMs (work-conserving), and a *hard cap* (``vcpu_quota``/``cfs_quota``)
+upper-bounds a VM regardless of idle capacity — the non-work-conserving
+actuator PerfCloud uses to throttle CPU antagonists (§III-C).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+__all__ = ["allocate_cpu"]
+
+
+def allocate_cpu(
+    demands: Mapping[Hashable, float],
+    weights: Mapping[Hashable, float],
+    caps: Mapping[Hashable, Optional[float]],
+    capacity: float,
+) -> Dict[Hashable, float]:
+    """Distribute ``capacity`` cores among contenders.
+
+    Parameters
+    ----------
+    demands:
+        Cores each VM would consume if unconstrained (``>= 0``).
+    weights:
+        Fair-share weights (vCPU counts).  Missing keys default to 1.
+    caps:
+        Hard caps in cores; ``None`` (or missing) means uncapped.
+    capacity:
+        Total physical cores available.
+
+    Returns
+    -------
+    dict
+        Granted cores per VM.  Invariants: ``0 <= grant <= min(demand,
+        cap)`` and ``sum(grants) <= capacity`` (within float tolerance);
+        when total effective demand fits, everyone gets their demand
+        (work-conserving).
+    """
+    if capacity < 0:
+        raise ValueError(f"capacity must be non-negative, got {capacity!r}")
+    effective: Dict[Hashable, float] = {}
+    for vm, demand in demands.items():
+        if demand < 0:
+            raise ValueError(f"negative CPU demand for {vm!r}: {demand!r}")
+        cap = caps.get(vm)
+        limit = demand if cap is None else min(demand, max(0.0, cap))
+        effective[vm] = limit
+
+    total = sum(effective.values())
+    if total <= capacity + 1e-12:
+        return dict(effective)
+
+    # Progressive (water-filling) allocation: repeatedly hand each still-
+    # unsatisfied VM its weighted share of the remaining capacity; VMs whose
+    # residual demand is below their share are granted fully and removed.
+    grants: Dict[Hashable, float] = {vm: 0.0 for vm in effective}
+    active = {vm for vm, d in effective.items() if d > 0}
+    remaining = capacity
+    for _ in range(len(effective) + 1):
+        if not active or remaining <= 1e-12:
+            break
+        total_weight = sum(max(weights.get(vm, 1.0), 1e-9) for vm in active)
+        satisfied = set()
+        for vm in sorted(active, key=_stable_key):
+            share = remaining * max(weights.get(vm, 1.0), 1e-9) / total_weight
+            residual = effective[vm] - grants[vm]
+            if residual <= share + 1e-12:
+                grants[vm] += residual
+                satisfied.add(vm)
+        if not satisfied:
+            # Everyone wants at least their share: hand out shares and stop.
+            for vm in active:
+                share = remaining * max(weights.get(vm, 1.0), 1e-9) / total_weight
+                grants[vm] += share
+            remaining = 0.0
+            break
+        remaining = capacity - sum(grants.values())
+        active -= satisfied
+    return grants
+
+
+def _stable_key(vm: Hashable) -> str:
+    """Deterministic ordering key for heterogeneous VM identifiers."""
+    return str(vm)

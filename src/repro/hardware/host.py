@@ -1,0 +1,204 @@
+"""Physical host: composition of the shared-resource models.
+
+A :class:`PhysicalHost` owns one CPU pool, one block device, one memory
+system and a set of guests.  Guests are duck-typed via :class:`Guest` so
+the hardware layer stays ignorant of virtualization details — the virt
+layer's :class:`~repro.virt.vm.VM` satisfies the protocol.
+
+Each fluid step proceeds host-locally in a fixed order (CPU → disk →
+memory system), producing per-guest :class:`ResourceGrant` records; the
+cluster assembler then resolves cross-host network flows and delivers the
+completed grants to guests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Protocol, Tuple
+
+from repro.hardware.disk import BlockDevice, DiskRequest
+from repro.hardware.memsys import MemorySystem, MemRequest
+from repro.hardware.cpu import allocate_cpu
+from repro.hardware.resources import (
+    NetFlowDemand,
+    PerfProfile,
+    ResourceDemand,
+    ResourceGrant,
+)
+from repro.hardware.specs import HostSpec
+
+__all__ = ["Guest", "PhysicalHost", "HostStepResult"]
+
+
+class Guest(Protocol):
+    """What the hardware layer needs to know about a hosted VM."""
+
+    name: str
+    vcpus: int
+
+    def poll_demand(self) -> ResourceDemand:  # pragma: no cover - protocol
+        """Resource appetite for the upcoming step."""
+        ...
+
+    def cpu_cap_cores(self) -> Optional[float]:  # pragma: no cover
+        """Hard CPU cap in cores, or None if uncapped."""
+        ...
+
+    def io_caps(self) -> Tuple[Optional[float], Optional[float]]:  # pragma: no cover
+        """(iops_cap, bytes_per_s_cap), None components meaning uncapped."""
+        ...
+
+    def perf_profile(self) -> PerfProfile:  # pragma: no cover
+        """Microarchitectural personality of the currently-running work."""
+        ...
+
+
+@dataclass
+class HostStepResult:
+    """Host-local outcome of one step, before network resolution.
+
+    ``flow_demands`` pairs each demanding guest's name with its raw
+    :class:`NetFlowDemand`; the cluster assembler resolves peer hosts and
+    runs the fabric allocation.
+    """
+
+    grants: Dict[str, ResourceGrant]
+    flow_demands: List[Tuple[str, NetFlowDemand]]
+    demands: Dict[str, ResourceDemand]
+
+
+class PhysicalHost:
+    """One physical server with its shared devices and guests."""
+
+    def __init__(self, name: str, spec: HostSpec, rng_registry) -> None:
+        self.name = name
+        self.spec = spec
+        self.disk = BlockDevice(spec.disk, rng_registry.stream(f"host.{name}.disk"))
+        if spec.numa_sockets > 1:
+            from repro.hardware.numa import NumaMemorySystem
+
+            self.memsys = NumaMemorySystem(
+                spec.mem,
+                rng_registry.stream(f"host.{name}.mem"),
+                sockets=spec.numa_sockets,
+            )
+        else:
+            self.memsys = MemorySystem(
+                spec.mem, rng_registry.stream(f"host.{name}.mem")
+            )
+        self._guests: Dict[str, Guest] = {}
+        #: CPU utilization (granted cores / capacity) of the latest step.
+        self.cpu_utilization = 0.0
+
+    # ---------------------------------------------------------------- guests
+    @property
+    def guests(self) -> Dict[str, Guest]:
+        """Snapshot of hosted guests by name."""
+        return dict(self._guests)
+
+    def attach(self, guest: Guest) -> None:
+        """Place a guest on this host."""
+        if guest.name in self._guests:
+            raise ValueError(f"guest {guest.name!r} already on host {self.name!r}")
+        self._guests[guest.name] = guest
+
+    def detach(self, guest_name: str) -> Guest:
+        """Remove and return a guest (KeyError if absent)."""
+        try:
+            return self._guests.pop(guest_name)
+        except KeyError:
+            raise KeyError(
+                f"guest {guest_name!r} not on host {self.name!r}"
+            ) from None
+
+    def guest_names(self) -> List[str]:
+        """Deterministically ordered guest names."""
+        return sorted(self._guests)
+
+    # ------------------------------------------------------------------ step
+    def step_local(self, dt: float) -> HostStepResult:
+        """Resolve host-local resources for one step.
+
+        Returns grants lacking network deliveries (``net_bytes`` empty);
+        the cluster fills those in after fabric allocation.
+        """
+        names = self.guest_names()
+        demands = {n: self._guests[n].poll_demand() for n in names}
+
+        # ---- CPU ---------------------------------------------------------
+        cpu_grants = allocate_cpu(
+            demands={n: demands[n].cpu_cores for n in names},
+            weights={n: float(self._guests[n].vcpus) for n in names},
+            caps={n: self._guests[n].cpu_cap_cores() for n in names},
+            capacity=float(self.spec.cores),
+        )
+        self.cpu_utilization = (
+            sum(cpu_grants.values()) / self.spec.cores if self.spec.cores else 0.0
+        )
+
+        # ---- Disk ----------------------------------------------------------
+        disk_reqs = {}
+        for n in names:
+            d = demands[n]
+            iops_cap, bps_cap = self._guests[n].io_caps()
+            disk_reqs[n] = DiskRequest(
+                read_iops=d.read_iops,
+                write_iops=d.write_iops,
+                read_bytes_ps=d.read_bytes_ps,
+                write_bytes_ps=d.write_bytes_ps,
+                iops_cap=iops_cap,
+                bps_cap=bps_cap,
+            )
+        disk_grants = self.disk.allocate(disk_reqs, dt)
+
+        # ---- Memory system -------------------------------------------------
+        mem_reqs = {}
+        for n in names:
+            d = demands[n]
+            prof = self._guests[n].perf_profile()
+            mem_reqs[n] = MemRequest(
+                llc_ws_mb=d.llc_ws_mb,
+                mem_bw_gbps=d.mem_bw_gbps,
+                active_cores=cpu_grants.get(n, 0.0),
+                demand_cores=d.cpu_cores,
+                base_cpi=prof.base_cpi,
+                llc_sensitivity=prof.llc_sensitivity,
+                bw_sensitivity=prof.bw_sensitivity,
+                mpki_min=prof.mpki_min,
+                mpki_max=prof.mpki_max,
+            )
+        mem_out = self.memsys.evaluate(mem_reqs, dt)
+
+        # ---- Assemble grants ------------------------------------------------
+        grants: Dict[str, ResourceGrant] = {}
+        flow_demands: List[Tuple[str, NetFlowDemand]] = []
+        for n in names:
+            prof = self._guests[n].perf_profile()
+            mo = mem_out[n]
+            dg = disk_grants[n]
+            coresec = cpu_grants.get(n, 0.0) * dt
+            grants[n] = ResourceGrant(
+                dt=dt,
+                cpu_coresec=coresec,
+                effective_coresec=(
+                    coresec * prof.base_cpi / mo.cpi_effective
+                    * self.spec.speed_factor
+                ),
+                cpi=mo.cpi,
+                mpki=mo.mpki,
+                read_ops=dg.read_ops,
+                write_ops=dg.write_ops,
+                read_bytes=dg.read_bytes,
+                write_bytes=dg.write_bytes,
+                io_wait_ms_per_op=dg.wait_ms_per_op,
+                mem_bytes=mo.mem_bytes,
+            )
+            for fl in demands[n].flows:
+                flow_demands.append((n, fl))
+        return HostStepResult(grants=grants, flow_demands=flow_demands, demands=demands)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PhysicalHost({self.name!r}, guests={len(self._guests)}, "
+            f"cores={self.spec.cores})"
+        )

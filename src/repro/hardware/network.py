@@ -1,0 +1,114 @@
+"""Datacenter network fabric: NIC-constrained flow sharing.
+
+Shuffle traffic between MapReduce/Spark workers on different hosts
+traverses each endpoint's NIC; a non-blocking switch core is assumed (the
+common leaf-spine provisioning for a 15-server testbed), so the only
+bottlenecks are host egress and ingress.  Flows within one host move at
+memory speed and are effectively unconstrained.
+
+Allocation is progressive-filling max-min: repeatedly find the tightest
+NIC, give its flows an equal split of its remaining capacity, and fix
+them.  The implementation below uses the standard waterfilling
+approximation — scale every flow by the most-congested NIC it crosses —
+iterated to convergence, which is exact for the two-constraint case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Mapping, Tuple
+
+__all__ = ["Flow", "NetworkFabric"]
+
+_LOOPBACK_BPS = 40e9  # intra-host copies: effectively memory bandwidth
+
+
+@dataclass(frozen=True)
+class Flow:
+    """One unidirectional flow between two VMs."""
+
+    src_vm: Hashable
+    dst_vm: Hashable
+    src_host: str
+    dst_host: str
+    bytes_per_s: float
+
+    @property
+    def intra_host(self) -> bool:
+        """Whether both endpoints share a host (no NIC crossing)."""
+        return self.src_host == self.dst_host
+
+
+class NetworkFabric:
+    """Shared network of the whole cluster."""
+
+    def __init__(self, nic_bytes_per_s: Mapping[str, float]) -> None:
+        """``nic_bytes_per_s`` maps host name -> NIC capacity (each way)."""
+        self._nic = dict(nic_bytes_per_s)
+        #: Per-host (egress, ingress) utilization of the latest step.
+        self.utilization: Dict[str, Tuple[float, float]] = {}
+
+    def add_host(self, host: str, nic_bytes_per_s: float) -> None:
+        """Register a host NIC with the fabric."""
+        self._nic[host] = float(nic_bytes_per_s)
+
+    def allocate(self, flows: List[Flow], dt: float) -> List[float]:
+        """Bytes delivered for each flow during a step of ``dt`` seconds."""
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt!r}")
+        if not flows:
+            self.utilization = {}
+            return []
+        for f in flows:
+            if f.bytes_per_s < 0:
+                raise ValueError(f"negative flow demand: {f!r}")
+            for h in (f.src_host, f.dst_host):
+                if h not in self._nic:
+                    raise KeyError(f"unknown host in flow: {h!r}")
+
+        rates = [f.bytes_per_s for f in flows]
+        # Iterate proportional scaling until no NIC is oversubscribed.
+        for _ in range(8):
+            egress: Dict[str, float] = {}
+            ingress: Dict[str, float] = {}
+            for f, r in zip(flows, rates):
+                if f.intra_host:
+                    continue
+                egress[f.src_host] = egress.get(f.src_host, 0.0) + r
+                ingress[f.dst_host] = ingress.get(f.dst_host, 0.0) + r
+            worst = 1.0
+            for host, tot in egress.items():
+                worst = max(worst, tot / self._nic[host])
+            for host, tot in ingress.items():
+                worst = max(worst, tot / self._nic[host])
+            if worst <= 1.0 + 1e-9:
+                break
+            new_rates = []
+            for f, r in zip(flows, rates):
+                if f.intra_host:
+                    new_rates.append(min(r, _LOOPBACK_BPS))
+                    continue
+                rho = max(
+                    egress.get(f.src_host, 0.0) / self._nic[f.src_host],
+                    ingress.get(f.dst_host, 0.0) / self._nic[f.dst_host],
+                )
+                new_rates.append(r / rho if rho > 1.0 else r)
+            rates = new_rates
+
+        self.utilization = self._compute_utilization(flows, rates)
+        return [r * dt for r in rates]
+
+    def _compute_utilization(
+        self, flows: List[Flow], rates: List[float]
+    ) -> Dict[str, Tuple[float, float]]:
+        egress: Dict[str, float] = {h: 0.0 for h in self._nic}
+        ingress: Dict[str, float] = {h: 0.0 for h in self._nic}
+        for f, r in zip(flows, rates):
+            if f.intra_host:
+                continue
+            egress[f.src_host] += r
+            ingress[f.dst_host] += r
+        return {
+            h: (egress[h] / self._nic[h], ingress[h] / self._nic[h])
+            for h in self._nic
+        }

@@ -1,0 +1,114 @@
+"""NUMA-aware memory system (paper future work, §IV-D2).
+
+"Furthermore, we will study the impact of other optimizations such as
+shared-memory communication among Hadoop VMs, and NUMA architecture-aware
+VM mapping on the effectiveness of PerfCloud."
+
+A multi-socket host partitions its LLC and DRAM bandwidth per socket:
+a STREAM antagonist pinned to socket 1 cannot starve victims pinned to
+socket 0.  :class:`NumaMemorySystem` models this by running one
+:class:`~repro.hardware.memsys.MemorySystem` per socket and routing each
+VM's memory activity to its pinned socket.  VM pinning defaults to
+round-robin (the hypervisor's naive spreading); callers can re-pin —
+:func:`numa_isolate` implements the paper's suggested optimization of
+separating the high-priority application from everyone else.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Hashable, List, Mapping
+
+import numpy as np
+
+from repro.hardware.memsys import MemOutcome, MemorySystem, MemRequest
+from repro.hardware.specs import MemSpec
+
+__all__ = ["NumaMemorySystem", "numa_isolate"]
+
+
+class NumaMemorySystem:
+    """Drop-in replacement for :class:`MemorySystem` on multi-socket hosts.
+
+    Exposes the same ``evaluate`` contract plus per-socket pinning.  Each
+    socket gets an equal share of the host's LLC and DRAM bandwidth.
+    """
+
+    def __init__(
+        self, spec: MemSpec, rng: np.random.Generator, sockets: int = 2
+    ) -> None:
+        if sockets < 1:
+            raise ValueError(f"sockets must be >= 1, got {sockets!r}")
+        self.spec = spec
+        self.sockets = int(sockets)
+        per_socket = replace(
+            spec,
+            llc_mb=spec.llc_mb / sockets,
+            bandwidth_gbps=spec.bandwidth_gbps / sockets,
+        )
+        # Derive per-socket generators deterministically from the host rng.
+        seeds = rng.integers(0, 2**63 - 1, size=sockets)
+        self._nodes: List[MemorySystem] = [
+            MemorySystem(per_socket, np.random.default_rng(int(s)))
+            for s in seeds
+        ]
+        self._pin: Dict[Hashable, int] = {}
+        self._next = 0
+
+    # ---------------------------------------------------------------- pinning
+    def socket_of(self, vm: Hashable) -> int:
+        """The VM's socket, assigning round-robin on first sight."""
+        if vm not in self._pin:
+            self._pin[vm] = self._next % self.sockets
+            self._next += 1
+        return self._pin[vm]
+
+    def pin(self, vm: Hashable, socket: int) -> None:
+        """Pin a VM's vCPUs/memory to a socket (libvirt ``numatune``)."""
+        if not 0 <= socket < self.sockets:
+            raise ValueError(
+                f"socket must be in [0, {self.sockets}), got {socket!r}"
+            )
+        self._pin[vm] = socket
+
+    def unpin(self, vm: Hashable) -> None:
+        """Return a VM to round-robin assignment."""
+        self._pin.pop(vm, None)
+
+    @property
+    def pinning(self) -> Dict[Hashable, int]:
+        """Snapshot of current VM -> socket assignments."""
+        return dict(self._pin)
+
+    # --------------------------------------------------------------- evaluate
+    @property
+    def bw_utilization(self) -> float:
+        """Peak per-socket bandwidth utilization of the latest step."""
+        return max((n.bw_utilization for n in self._nodes), default=0.0)
+
+    def evaluate(
+        self, requests: Mapping[Hashable, MemRequest], dt: float
+    ) -> Dict[Hashable, MemOutcome]:
+        """Route each VM to its socket and evaluate the sockets."""
+        by_socket: List[Dict[Hashable, MemRequest]] = [
+            {} for _ in range(self.sockets)
+        ]
+        for vm, req in requests.items():
+            by_socket[self.socket_of(vm)][vm] = req
+        out: Dict[Hashable, MemOutcome] = {}
+        for node, reqs in zip(self._nodes, by_socket):
+            out.update(node.evaluate(reqs, dt))
+        return out
+
+
+def numa_isolate(memsys: NumaMemorySystem, high_priority, low_priority) -> None:
+    """The paper's future-work placement: pin the protected application's
+    VMs to socket 0 and everything else to the remaining sockets.
+
+    With one socket there is nothing to isolate (no-op beyond pinning).
+    """
+    for vm in high_priority:
+        memsys.pin(vm, 0)
+    others = max(1, memsys.sockets - 1)
+    for i, vm in enumerate(low_priority):
+        memsys.pin(vm, 1 + (i % others) if memsys.sockets > 1 else 0)

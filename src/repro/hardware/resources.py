@@ -1,0 +1,165 @@
+"""Demand and grant vectors exchanged between workloads and hardware.
+
+Each simulation step, every VM's workload driver publishes a
+:class:`ResourceDemand` (rates: what it would consume this second if
+unconstrained).  The cluster resolves contention and hands back a
+:class:`ResourceGrant` (amounts actually consumed during the step, plus
+the performance environment — CPI, per-op I/O wait — the VM experienced).
+
+Grants, not demands, drive task progress and cgroup accounting; the gap
+between them *is* the interference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+__all__ = ["NetFlowDemand", "PerfProfile", "ResourceDemand", "ResourceGrant"]
+
+
+@dataclass(frozen=True)
+class PerfProfile:
+    """Microarchitectural personality of a workload.
+
+    Drives the memory-system model: how efficient the instruction stream
+    is when unmolested (``base_cpi``), how hard contention hits it
+    (sensitivities), and its intrinsic LLC miss profile.  The paper's
+    observation that "Spark jobs are more sensitive to LLC miss rates and
+    memory bandwidth contention" (§III-A2) is expressed through larger
+    sensitivity values on Spark workload profiles.
+    """
+
+    base_cpi: float = 1.0
+    llc_sensitivity: float = 0.0
+    bw_sensitivity: float = 0.0
+    mpki_min: float = 0.5
+    mpki_max: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.base_cpi <= 0:
+            raise ValueError("base_cpi must be positive")
+        if self.llc_sensitivity < 0 or self.bw_sensitivity < 0:
+            raise ValueError("sensitivities must be non-negative")
+        if self.mpki_min < 0 or self.mpki_max < self.mpki_min:
+            raise ValueError("require 0 <= mpki_min <= mpki_max")
+
+
+@dataclass(frozen=True)
+class NetFlowDemand:
+    """One network transfer this VM wants to drive.
+
+    ``direction`` is from the demander's point of view: ``"out"`` pushes
+    bytes toward ``peer_vm``; ``"in"`` pulls bytes from it (the shuffle-
+    fetch pattern — reducers pull map output).  Delivered bytes are always
+    credited to the demander's grant, keyed by ``peer_vm``.
+    """
+
+    peer_vm: str
+    bytes_per_s: float
+    direction: str = "in"
+
+    def __post_init__(self) -> None:
+        if self.bytes_per_s < 0:
+            raise ValueError("flow demand must be non-negative")
+        if self.direction not in ("in", "out"):
+            raise ValueError(f"direction must be 'in' or 'out', got {self.direction!r}")
+
+
+@dataclass
+class ResourceDemand:
+    """Per-second resource appetite of one VM for the upcoming step.
+
+    All fields are *rates* (per second).  ``llc_ws_mb`` is the working-set
+    footprint the VM would like resident in the shared LLC; it is a size,
+    not a rate, and participates in occupancy sharing.
+    """
+
+    cpu_cores: float = 0.0
+    read_iops: float = 0.0
+    write_iops: float = 0.0
+    read_bytes_ps: float = 0.0
+    write_bytes_ps: float = 0.0
+    mem_bw_gbps: float = 0.0
+    llc_ws_mb: float = 0.0
+    flows: Tuple[NetFlowDemand, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cpu_cores",
+            "read_iops",
+            "write_iops",
+            "read_bytes_ps",
+            "write_bytes_ps",
+            "mem_bw_gbps",
+            "llc_ws_mb",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def total_iops(self) -> float:
+        """Read + write operations per second."""
+        return self.read_iops + self.write_iops
+
+    @property
+    def total_bytes_ps(self) -> float:
+        """Read + write bytes per second."""
+        return self.read_bytes_ps + self.write_bytes_ps
+
+    @property
+    def is_idle(self) -> bool:
+        """True when the demand vector is entirely zero."""
+        return (
+            self.cpu_cores == 0.0
+            and self.total_iops == 0.0
+            and self.total_bytes_ps == 0.0
+            and self.mem_bw_gbps == 0.0
+            and not self.flows
+        )
+
+
+@dataclass
+class ResourceGrant:
+    """What one VM actually received/experienced during a step of ``dt``.
+
+    Amount fields are integrals over the step (core-seconds, operations,
+    bytes); environment fields (``cpi``, ``io_wait_ms_per_op``) describe
+    the conditions under which the work ran.
+    """
+
+    dt: float
+    #: Raw scheduled core-seconds.
+    cpu_coresec: float = 0.0
+    #: Core-seconds of *useful* progress after CPI inflation
+    #: (``cpu_coresec * base_cpi / cpi``).
+    effective_coresec: float = 0.0
+    #: Cycles-per-instruction experienced this step.
+    cpi: float = 1.0
+    #: LLC misses per kilo-instruction experienced this step.
+    mpki: float = 0.0
+    read_ops: float = 0.0
+    write_ops: float = 0.0
+    read_bytes: float = 0.0
+    write_bytes: float = 0.0
+    #: Mean scheduler-queue wait per I/O operation, milliseconds.
+    io_wait_ms_per_op: float = 0.0
+    #: DRAM traffic actually moved, bytes.
+    mem_bytes: float = 0.0
+    #: Bytes delivered per egress flow, keyed by destination VM name.
+    net_bytes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_ops(self) -> float:
+        """Read + write operations delivered this step."""
+        return self.read_ops + self.write_ops
+
+    @property
+    def total_io_bytes(self) -> float:
+        """Read + write bytes delivered this step."""
+        return self.read_bytes + self.write_bytes
+
+    @staticmethod
+    def idle(dt: float) -> "ResourceGrant":
+        """An all-zero grant for an idle step."""
+        return ResourceGrant(dt=dt)

@@ -1,0 +1,130 @@
+"""Hardware specification records.
+
+Defaults approximate the paper's testbed node: a Dell PowerEdge R630 with a
+48-core 2.3 GHz Xeon and 125 GB of memory (paper §IV-A), virtualized with
+KVM.  The disk spec models the effective random-read capability seen by
+the guests through virtio on the shared local storage — the regime in
+which the fio random-read antagonist saturates the device.
+
+Specs are frozen dataclasses: a spec is a catalog entry, not mutable state.
+Heterogeneous-cluster experiments (paper future work) use
+:meth:`HostSpec.scaled` to derive slower/faster variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DiskSpec", "MemSpec", "NicSpec", "HostSpec", "R630"]
+
+
+@dataclass(frozen=True)
+class DiskSpec:
+    """Block-device capability.
+
+    Attributes
+    ----------
+    max_iops:
+        Sustainable random-access operations per second for the whole
+        device (all guests combined).
+    max_bytes_per_s:
+        Sustainable streaming bandwidth in bytes/second.
+    base_service_ms:
+        Per-operation service latency at low load, milliseconds.
+    queue_gain:
+        Scale of the congestion queueing delay (multiplies the M/M/1-like
+        growth term).
+    jitter_gain:
+        Scale of the *cross-VM* delay variance under congestion.  This is
+        the knob that makes the iowait-ratio deviation signal emerge.
+    """
+
+    max_iops: float = 1500.0
+    max_bytes_per_s: float = 250e6
+    base_service_ms: float = 2.0
+    queue_gain: float = 1.0
+    jitter_gain: float = 1.0
+    #: Baseline wait-skew across VMs (healthy device).
+    base_skew: float = 0.35
+    #: Additional skew as utilization crosses the saturation knee.
+    excess_skew: float = 0.40
+
+    def __post_init__(self) -> None:
+        if self.max_iops <= 0 or self.max_bytes_per_s <= 0:
+            raise ValueError("disk capacities must be positive")
+        if self.base_service_ms < 0:
+            raise ValueError("base_service_ms must be non-negative")
+
+
+@dataclass(frozen=True)
+class MemSpec:
+    """Shared last-level cache and memory-bandwidth capability."""
+
+    llc_mb: float = 30.0
+    bandwidth_gbps: float = 50.0  # GB/s of DRAM bandwidth
+    #: Scale of cross-VM CPI jitter under contention.
+    jitter_gain: float = 1.0
+    #: Baseline CPI skew (healthy multi-VM host).
+    base_skew: float = 0.03
+    #: Extra skew per unit of contention-induced LLC miss factor.
+    extra_skew: float = 0.20
+    #: Extra skew under DRAM-bandwidth starvation (dominant term).
+    stall_skew: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.llc_mb <= 0 or self.bandwidth_gbps <= 0:
+            raise ValueError("memory capacities must be positive")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Network interface capability (full duplex)."""
+
+    bandwidth_gbps: float = 10.0  # Gbit/s
+
+    @property
+    def bytes_per_s(self) -> float:
+        """Capacity in bytes/second (each direction)."""
+        return self.bandwidth_gbps * 1e9 / 8.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbps <= 0:
+            raise ValueError("NIC bandwidth must be positive")
+
+
+@dataclass(frozen=True)
+class HostSpec:
+    """A physical server's full capability vector."""
+
+    cores: int = 48
+    freq_ghz: float = 2.3
+    mem_gb: float = 125.0
+    disk: DiskSpec = DiskSpec()
+    mem: MemSpec = MemSpec()
+    nic: NicSpec = NicSpec()
+    #: Relative CPU speed (1.0 = reference R630).  Heterogeneity hook.
+    speed_factor: float = 1.0
+    #: NUMA sockets; >1 partitions LLC and DRAM bandwidth per socket and
+    #: enables VM pinning (the paper's future-work optimization).
+    numa_sockets: int = 1
+
+    def __post_init__(self) -> None:
+        if self.cores <= 0:
+            raise ValueError("cores must be positive")
+        if self.freq_ghz <= 0 or self.mem_gb <= 0 or self.speed_factor <= 0:
+            raise ValueError("host capabilities must be positive")
+        if self.numa_sockets < 1:
+            raise ValueError("numa_sockets must be >= 1")
+
+    @property
+    def freq_hz(self) -> float:
+        """Effective clock in Hz, including the heterogeneity factor."""
+        return self.freq_ghz * 1e9 * self.speed_factor
+
+    def scaled(self, speed_factor: float) -> "HostSpec":
+        """Derive a heterogeneous variant with a different CPU speed."""
+        return replace(self, speed_factor=speed_factor)
+
+
+#: The paper's testbed node.
+R630 = HostSpec()

@@ -1,0 +1,37 @@
+"""Statistical primitives shared by the monitor, detector and identifier.
+
+The PerfCloud pipeline is built from a handful of small, well-tested
+statistical operations:
+
+* :class:`~repro.metrics.timeseries.TimeSeries` — bounded timestamped
+  sample store with window queries (the monitor's per-metric history);
+* :class:`~repro.metrics.ewma.Ewma` — exponentially weighted moving
+  average used to smooth 5-second samples (paper §III-D1);
+* :func:`~repro.metrics.correlation.pearson` and
+  :func:`~repro.metrics.correlation.aligned_pearson` — Pearson correlation
+  with the paper's *missing-as-zero* alignment policy (§III-B, Fig. 6);
+* :mod:`~repro.metrics.stats` — population deviation across VM groups and
+  normalization helpers used when reporting figures.
+"""
+
+from repro.metrics.correlation import MissingPolicy, aligned_pearson, pearson
+from repro.metrics.ewma import Ewma
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    group_std,
+    normalize_by_peak,
+    safe_ratio,
+)
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = [
+    "Ewma",
+    "MissingPolicy",
+    "TimeSeries",
+    "aligned_pearson",
+    "coefficient_of_variation",
+    "group_std",
+    "normalize_by_peak",
+    "pearson",
+    "safe_ratio",
+]

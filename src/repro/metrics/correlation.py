@@ -1,0 +1,123 @@
+"""Pearson correlation with the paper's missing-as-zero alignment.
+
+PerfCloud identifies antagonists by correlating a *victim* time series (the
+standard deviation of block-iowait ratio or CPI across the high-priority
+application's VMs) with each *suspect* time series (a colocated VM's I/O
+throughput or LLC miss rate).  Two details from §III-B matter:
+
+* the correlation is computed **online over a short tail** of samples —
+  Fig. 5(c) shows a dataset of 3 samples already suffices; and
+* when a suspect has **no measurement** at an instant (its cgroup ran no
+  work, so no LLC events were counted), the value is treated as **0 rather
+  than omitted**, "as is typically done when computing the Pearson
+  correlation".  This avoids over-emphasizing similarities computed over
+  little data.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.metrics.timeseries import TimeSeries
+
+__all__ = ["MissingPolicy", "pearson", "aligned_pearson"]
+
+#: Degenerate-variance guard: a series whose variance is below this is
+#: treated as constant and correlates to 0 with anything.
+_EPS = 1e-12
+
+
+class MissingPolicy(enum.Enum):
+    """How to align a suspect series against the victim's sample instants."""
+
+    #: Paper policy: absent samples contribute the value 0.
+    ZERO = "zero"
+    #: Conventional policy: drop instants where either series is absent.
+    OMIT = "omit"
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Plain Pearson correlation coefficient of two equal-length vectors.
+
+    Returns 0.0 when either vector is constant (zero variance) or shorter
+    than two samples — a deliberate, controller-friendly convention: a
+    flat suspect signal carries no evidence of antagonism.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError(f"length mismatch: {xa.shape} vs {ya.shape}")
+    if xa.size < 2:
+        return 0.0
+    xd = xa - xa.mean()
+    yd = ya - ya.mean()
+    vx = float(np.dot(xd, xd))
+    vy = float(np.dot(yd, yd))
+    if vx < _EPS or vy < _EPS:
+        return 0.0
+    r = float(np.dot(xd, yd) / np.sqrt(vx * vy))
+    # Clamp tiny float excursions outside [-1, 1].
+    return max(-1.0, min(1.0, r))
+
+
+def aligned_pearson(
+    victim: TimeSeries,
+    suspect: TimeSeries,
+    *,
+    window: int = 12,
+    policy: MissingPolicy = MissingPolicy.ZERO,
+) -> float:
+    """Correlate the tail of ``victim`` against ``suspect``.
+
+    Parameters
+    ----------
+    victim:
+        The contention-indicator series; its most recent ``window``
+        sample instants define the alignment grid.
+    suspect:
+        A colocated VM's resource-usage series, sampled on (nominally) the
+        same clock but possibly with holes.
+    window:
+        Number of most-recent victim samples to use.  The paper shows the
+        identification already works at 3.
+    policy:
+        :attr:`MissingPolicy.ZERO` (paper) or :attr:`MissingPolicy.OMIT`.
+    """
+    times, v_vals = victim.tail(window)
+    if times.size < 2:
+        return 0.0
+    if policy is MissingPolicy.ZERO:
+        s_vals = suspect.resampled_at(times, missing=0.0)
+        return pearson(v_vals, s_vals)
+    # OMIT: keep only instants where the suspect has a sample.
+    keep_v = []
+    keep_s = []
+    for t, v in zip(times, v_vals):
+        sv = suspect.value_at(t)
+        if sv is not None:
+            keep_v.append(v)
+            keep_s.append(sv)
+    return pearson(keep_v, keep_s)
+
+
+def rolling_pearson(
+    x: Sequence[float], y: Sequence[float], window: int
+) -> np.ndarray:
+    """Pearson over a sliding window; NaN until the window fills.
+
+    Used by the figure harness to show how identification confidence
+    evolves with dataset size (Fig. 5c / 6c).
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError(f"length mismatch: {xa.shape} vs {ya.shape}")
+    if window < 2:
+        raise ValueError(f"window must be >= 2, got {window!r}")
+    out = np.full(xa.size, np.nan)
+    for i in range(window - 1, xa.size):
+        out[i] = pearson(xa[i - window + 1 : i + 1], ya[i - window + 1 : i + 1])
+    return out

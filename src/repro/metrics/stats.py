@@ -1,0 +1,91 @@
+"""Deviation metrics and normalization helpers.
+
+The detection signal in PerfCloud is a *population standard deviation
+across the VMs of one application on one host* — of the block-iowait ratio
+for disk contention (§III-A1) and of CPI for processor contention
+(§III-A2).  This module implements those group statistics plus the
+peak-normalization used throughout the paper's figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "group_std",
+    "safe_ratio",
+    "coefficient_of_variation",
+    "normalize_by_peak",
+    "percentile_summary",
+]
+
+
+def group_std(values: Iterable[float]) -> float:
+    """Population standard deviation of a group of per-VM metric values.
+
+    Returns 0.0 for groups of fewer than two members: deviation across a
+    single VM is undefined and must not trigger the detector.
+    Non-finite members are ignored (a VM with no samples yet).
+    """
+    arr = np.asarray([v for v in values if v is not None], dtype=float)
+    arr = arr[np.isfinite(arr)]
+    if arr.size < 2:
+        return 0.0
+    return float(np.std(arr))
+
+
+def safe_ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator`` with a default for empty denominators.
+
+    Used for the block-iowait ratio ``io_wait_time / io_serviced``: a VM
+    that serviced no I/O in an interval has no wait ratio; PerfCloud treats
+    it as 0 (no contention evidence).
+    """
+    if denominator is None or abs(denominator) < 1e-12:
+        return default
+    return float(numerator) / float(denominator)
+
+
+def coefficient_of_variation(values: Sequence[float]) -> float:
+    """std/mean of a sample; 0.0 when the mean is ~0 or n < 2."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        return 0.0
+    mean = float(arr.mean())
+    if abs(mean) < 1e-12:
+        return 0.0
+    return float(arr.std() / abs(mean))
+
+
+def normalize_by_peak(values: Sequence[float]) -> np.ndarray:
+    """Scale a series so its maximum magnitude is 1 (paper Figs. 5, 6).
+
+    An all-zero series is returned unchanged.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr.copy()
+    peak = float(np.max(np.abs(arr)))
+    if peak < 1e-12:
+        return arr.copy()
+    return arr / peak
+
+
+def percentile_summary(values: Sequence[float]) -> dict:
+    """Five-number-ish summary used for the Fig. 12 variability boxplots."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("percentile_summary of an empty sample")
+    return {
+        "min": float(arr.min()),
+        "p25": float(np.percentile(arr, 25)),
+        "median": float(np.percentile(arr, 50)),
+        "p75": float(np.percentile(arr, 75)),
+        "max": float(arr.max()),
+        "mean": float(arr.mean()),
+        "std": float(arr.std()),
+        "iqr": float(np.percentile(arr, 75) - np.percentile(arr, 25)),
+        "n": int(arr.size),
+    }

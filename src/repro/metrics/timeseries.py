@@ -1,0 +1,128 @@
+"""Bounded timestamped sample store.
+
+The performance monitor keeps one :class:`TimeSeries` per (VM, metric).
+Samples arrive at the 5-second monitoring cadence; the identifier reads
+aligned tails of a victim series and each suspect series.  A bounded
+capacity keeps long simulations O(1) in memory per metric.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["TimeSeries"]
+
+
+class TimeSeries:
+    """Append-only (time, value) samples with a bounded history.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of retained samples; the oldest are evicted first.
+    name:
+        Optional label used in error messages and repr.
+    """
+
+    def __init__(self, capacity: int = 4096, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = int(capacity)
+        self.name = name
+        self._times: Deque[float] = deque(maxlen=self.capacity)
+        self._values: Deque[float] = deque(maxlen=self.capacity)
+
+    # ----------------------------------------------------------------- write
+    def append(self, time: float, value: float) -> None:
+        """Record ``value`` observed at simulated ``time``.
+
+        Times must be non-decreasing — the monitor samples on a clock, so a
+        regression indicates a bug upstream.
+        """
+        if self._times and time < self._times[-1] - 1e-9:
+            raise ValueError(
+                f"non-monotonic append to {self.name or 'series'}: "
+                f"{time!r} after {self._times[-1]!r}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def extend(self, samples: Iterable[Tuple[float, float]]) -> None:
+        """Append many (time, value) samples in order."""
+        for t, v in samples:
+            self.append(t, v)
+
+    # ------------------------------------------------------------------ read
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __bool__(self) -> bool:
+        return len(self._times) > 0
+
+    def __iter__(self) -> Iterator[Tuple[float, float]]:
+        return iter(zip(self._times, self._values))
+
+    @property
+    def last_time(self) -> Optional[float]:
+        """Timestamp of the newest sample, or None when empty."""
+        return self._times[-1] if self._times else None
+
+    @property
+    def last_value(self) -> Optional[float]:
+        """Newest sample value, or None when empty."""
+        return self._values[-1] if self._values else None
+
+    def times(self) -> np.ndarray:
+        """All retained timestamps as a float array (copy)."""
+        return np.asarray(self._times, dtype=float)
+
+    def values(self) -> np.ndarray:
+        """All retained values as a float array (copy)."""
+        return np.asarray(self._values, dtype=float)
+
+    def tail(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        """The most recent ``n`` samples as ``(times, values)`` arrays."""
+        if n <= 0:
+            return np.empty(0), np.empty(0)
+        t = list(self._times)[-n:]
+        v = list(self._values)[-n:]
+        return np.asarray(t, dtype=float), np.asarray(v, dtype=float)
+
+    def window(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        """Samples with ``start <= time <= end`` as ``(times, values)``."""
+        t = self.times()
+        v = self.values()
+        mask = (t >= start - 1e-9) & (t <= end + 1e-9)
+        return t[mask], v[mask]
+
+    def value_at(self, time: float, tolerance: float = 1e-6) -> Optional[float]:
+        """The value sampled at ``time`` (within ``tolerance``), else None."""
+        t = self.times()
+        if t.size == 0:
+            return None
+        idx = int(np.argmin(np.abs(t - time)))
+        if abs(t[idx] - time) <= tolerance:
+            return float(self.values()[idx])
+        return None
+
+    def resampled_at(self, times: Iterable[float], missing: float = 0.0) -> np.ndarray:
+        """Values at each requested time, ``missing`` where absent.
+
+        Implements the paper's *missing-as-zero* alignment: a suspect VM
+        with no measured LLC activity at an instant contributes 0, not a
+        hole (§III-B).
+        """
+        out: List[float] = []
+        for t in times:
+            v = self.value_at(t)
+            out.append(missing if v is None else v)
+        return np.asarray(out, dtype=float)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        span = ""
+        if self._times:
+            span = f", t=[{self._times[0]:.1f}, {self._times[-1]:.1f}]"
+        return f"TimeSeries({self.name!r}, n={len(self)}{span})"

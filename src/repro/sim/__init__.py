@@ -1,0 +1,27 @@
+"""Discrete-event simulation engine with a fixed-step fluid resource layer.
+
+The engine is the substrate every other subsystem runs on.  It combines two
+classic simulation styles:
+
+* a **discrete-event core** (:class:`~repro.sim.engine.Simulator`) with a
+  priority-queue of timestamped events, used for framework logic — job
+  arrivals, heartbeats, monitor samples, control actions; and
+* a **fixed-step fluid layer** — objects registered with
+  :meth:`~repro.sim.engine.Simulator.add_stepper` are stepped every ``dt``
+  simulated seconds and advance continuous quantities (CPU time granted,
+  I/O operations serviced, bytes moved, task progress).
+
+This hybrid mirrors how the real testbed behaves: hardware resources are
+shared continuously while software components (Hadoop, Spark, the PerfCloud
+node manager) act at discrete instants.
+
+Determinism is a first-class requirement: given a root seed, every run is
+bit-reproducible.  All randomness flows through named child streams from
+:class:`~repro.sim.rng.RngRegistry` so that adding a new random consumer
+does not perturb unrelated streams.
+"""
+
+from repro.sim.engine import Event, PeriodicTask, SimError, Simulator
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Event", "PeriodicTask", "SimError", "Simulator", "RngRegistry"]

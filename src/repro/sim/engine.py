@@ -1,0 +1,293 @@
+"""Event-driven simulator core.
+
+The :class:`Simulator` owns simulated time.  Two execution mechanisms are
+provided:
+
+``schedule`` / ``schedule_at``
+    One-shot callbacks at a future instant — used for job arrivals,
+    timeouts and other framework-level control flow.
+
+``add_stepper``
+    Fluid-layer components implementing ``step(dt)`` that are advanced at a
+    fixed cadence ``dt``.  Steppers model continuously shared resources
+    (CPU, disk, memory bandwidth, network) and task progress.
+
+Ordering guarantees
+-------------------
+Events fire in ``(time, priority, sequence)`` order.  The fluid tick runs
+at priority :data:`TICK_PRIORITY` (lowest number = earliest), so at any
+instant the resource state observed by same-time callbacks (monitors,
+controllers) is *post-step* — exactly the view a real daemon gets when it
+reads cgroup counters.  Events scheduled with zero delay from inside a
+callback run at the current time, after the currently-firing batch.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Protocol
+
+__all__ = ["SimError", "Event", "PeriodicTask", "Stepper", "Simulator", "TICK_PRIORITY"]
+
+#: Priority used by the internal fluid-layer tick; user events default to a
+#: larger value so that same-instant user callbacks observe post-step state.
+TICK_PRIORITY = 0
+
+#: Default priority for user events.
+USER_PRIORITY = 10
+
+
+class SimError(RuntimeError):
+    """Raised for simulator misuse (time travel, running a finished sim...)."""
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Events are handles: hold on to one to :meth:`cancel` it.  Comparisons
+    are performed on ``(time, priority, seq)`` so the heap ordering is
+    total and deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    name: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (no-op if already fired)."""
+        self.cancelled = True
+
+    def sort_key(self) -> tuple:
+        """Total deterministic ordering: (time, priority, seq)."""
+        return (self.time, self.priority, self.seq)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self.sort_key() < other.sort_key()
+
+
+class Stepper(Protocol):
+    """Interface for fluid-layer components advanced every ``dt``."""
+
+    def step(self, dt: float) -> None:  # pragma: no cover - protocol
+        ...
+
+
+class PeriodicTask:
+    """A recurring callback registered with :meth:`Simulator.every`.
+
+    The callback fires at ``start, start + interval, start + 2*interval...``
+    until :meth:`stop` is called or it raises :class:`StopIteration`.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+        name: str = "",
+        priority: int = USER_PRIORITY,
+    ) -> None:
+        if interval <= 0:
+            raise SimError(f"periodic interval must be positive, got {interval!r}")
+        self._sim = sim
+        self.interval = float(interval)
+        self.callback = callback
+        self.name = name or getattr(callback, "__name__", "periodic")
+        self.priority = priority
+        self._stopped = False
+        first = sim.now + interval if start is None else start
+        self._event = sim.schedule_at(first, self._fire, name=self.name, priority=priority)
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the recurring callback has been cancelled."""
+        return self._stopped
+
+    def stop(self) -> None:
+        """Cancel the pending occurrence and stop rescheduling."""
+        self._stopped = True
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        try:
+            self.callback()
+        except StopIteration:
+            self._stopped = True
+            return
+        if not self._stopped:
+            self._event = self._sim.schedule(
+                self.interval, self._fire, name=self.name, priority=self.priority
+            )
+
+
+class Simulator:
+    """Discrete-event simulator with an integrated fixed-step fluid layer.
+
+    Parameters
+    ----------
+    dt:
+        Fluid-layer timestep in simulated seconds.  Resource sharing and
+        task progress are resolved at this granularity; 0.5–1.0 s is a good
+        trade-off for the cluster scenarios in this package.
+    seed:
+        Root seed for the :class:`~repro.sim.rng.RngRegistry` attached as
+        :attr:`rng`.
+    """
+
+    def __init__(self, dt: float = 1.0, seed: int = 0) -> None:
+        if dt <= 0:
+            raise SimError(f"dt must be positive, got {dt!r}")
+        # Imported here to keep engine importable without numpy users caring.
+        from repro.sim.rng import RngRegistry
+
+        self.dt = float(dt)
+        self._now = 0.0
+        self._heap: List[Event] = []
+        self._seq = itertools.count()
+        self._steppers: List[Stepper] = []
+        self._running = False
+        self._tick_event: Optional[Event] = None
+        self.rng = RngRegistry(seed)
+        #: Number of fluid ticks executed so far.
+        self.ticks = 0
+        #: Number of events fired so far (excluding fluid ticks).
+        self.events_fired = 0
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    # -------------------------------------------------------------- schedule
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+        priority: int = USER_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"cannot schedule into the past (delay={delay!r})")
+        return self.schedule_at(self._now + delay, callback, name=name, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[[], None],
+        *,
+        name: str = "",
+        priority: int = USER_PRIORITY,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimError(
+                f"cannot schedule into the past (time={time!r} < now={self._now!r})"
+            )
+        if not callable(callback):
+            raise SimError(f"callback must be callable, got {callback!r}")
+        ev = Event(
+            time=float(time),
+            priority=priority,
+            seq=next(self._seq),
+            callback=callback,
+            name=name or getattr(callback, "__name__", "event"),
+        )
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def every(
+        self,
+        interval: float,
+        callback: Callable[[], None],
+        *,
+        start: Optional[float] = None,
+        name: str = "",
+        priority: int = USER_PRIORITY,
+    ) -> PeriodicTask:
+        """Register a recurring callback; see :class:`PeriodicTask`."""
+        return PeriodicTask(
+            self, interval, callback, start=start, name=name, priority=priority
+        )
+
+    # -------------------------------------------------------------- steppers
+    def add_stepper(self, stepper: Stepper) -> None:
+        """Register a fluid-layer component advanced every :attr:`dt`.
+
+        Steppers run in registration order, before any same-instant events.
+        """
+        if not hasattr(stepper, "step"):
+            raise SimError(f"stepper must expose a step(dt) method: {stepper!r}")
+        self._steppers.append(stepper)
+
+    def remove_stepper(self, stepper: Stepper) -> None:
+        """Unregister a fluid-layer component."""
+        self._steppers.remove(stepper)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: float) -> None:
+        """Advance simulated time to ``until`` (inclusive of events at it).
+
+        May be called repeatedly with increasing horizons; state is
+        preserved between calls.
+        """
+        if until < self._now:
+            raise SimError(f"until={until!r} is in the past (now={self._now!r})")
+        if self._running:
+            raise SimError("run() is not reentrant")
+        self._running = True
+        try:
+            if self._tick_event is None and self._steppers:
+                self._arm_tick(self._now + self.dt)
+            while self._heap and self._heap[0].time <= until + 1e-12:
+                ev = heapq.heappop(self._heap)
+                if ev.cancelled:
+                    continue
+                if ev.time < self._now - 1e-9:
+                    raise SimError("event heap corrupted: time went backwards")
+                self._now = max(self._now, ev.time)
+                ev.callback()
+                if ev.priority != TICK_PRIORITY:
+                    self.events_fired += 1
+            self._now = max(self._now, float(until))
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Advance simulated time by ``duration`` seconds."""
+        self.run(self._now + duration)
+
+    # ------------------------------------------------------------- internals
+    def _arm_tick(self, at: float) -> None:
+        self._tick_event = self.schedule_at(
+            at, self._do_tick, name="fluid-tick", priority=TICK_PRIORITY
+        )
+
+    def _do_tick(self) -> None:
+        for stepper in list(self._steppers):
+            stepper.step(self.dt)
+        self.ticks += 1
+        if self._steppers:
+            self._arm_tick(self._now + self.dt)
+        else:
+            self._tick_event = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Simulator(now={self._now:.3f}, dt={self.dt}, "
+            f"pending={len(self._heap)}, steppers={len(self._steppers)})"
+        )

@@ -1,0 +1,39 @@
+"""KVM-like virtualization layer.
+
+This layer gives the simulated hardware the *interfaces* the paper's
+PerfCloud daemon actually programs against:
+
+* :mod:`~repro.virt.cgroups` — per-VM control groups with the exact
+  counters PerfCloud reads (``blkio.io_serviced``, ``blkio.io_wait_time``,
+  ``blkio.io_service_bytes``; per-cgroup cycles/instructions/LLC events à
+  la ``perf_event``) and the knobs it writes (blkio throttling, CPU hard
+  caps);
+* :mod:`~repro.virt.vm` — a virtual machine binding a cgroup, a vCPU
+  allotment and a workload driver;
+* :mod:`~repro.virt.hypervisor` — per-host control plane (boot/destroy,
+  tuning operations);
+* :mod:`~repro.virt.libvirt_api` — a libvirt-shaped facade
+  (``Connection``/``Domain`` with ``setBlockIoTune``,
+  ``setSchedulerParameters``, stats queries).  PerfCloud's node manager
+  talks *only* to this facade and the cloud-manager API, mirroring the
+  paper's non-invasive design;
+* :mod:`~repro.virt.cluster` — the datacenter assembler wiring hosts,
+  guests and the network fabric into one simulator stepper.
+"""
+
+from repro.virt.cgroups import BlkioThrottle, Cgroup
+from repro.virt.cluster import Cluster
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.libvirt_api import Connection, Domain
+from repro.virt.vm import VM, Priority
+
+__all__ = [
+    "BlkioThrottle",
+    "Cgroup",
+    "Cluster",
+    "Connection",
+    "Domain",
+    "Hypervisor",
+    "Priority",
+    "VM",
+]

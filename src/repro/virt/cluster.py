@@ -1,0 +1,154 @@
+"""Datacenter assembler: hosts + guests + fabric as one simulator stepper.
+
+The :class:`Cluster` is the root of the physical world.  Per fluid step it
+
+1. runs each host's local allocation (CPU, disk, memory system),
+2. resolves all cross-VM network-flow demands through the shared
+   :class:`~repro.hardware.network.NetworkFabric`, and
+3. delivers completed :class:`~repro.hardware.resources.ResourceGrant`
+   records to every VM — updating cgroup counters and driving workload
+   progress.
+
+It also owns VM placement (boot, destroy, migrate), so both the cloud
+manager and the libvirt facade are thin views over cluster state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.hardware.host import PhysicalHost
+from repro.hardware.network import Flow, NetworkFabric
+from repro.hardware.specs import R630, HostSpec
+from repro.sim.engine import Simulator
+from repro.virt.vm import VM, Priority
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """The physical datacenter: hosts, network, and hosted VMs."""
+
+    def __init__(self, sim: Simulator, default_spec: HostSpec = R630) -> None:
+        self.sim = sim
+        self.default_spec = default_spec
+        self.hosts: Dict[str, PhysicalHost] = {}
+        self.vms: Dict[str, VM] = {}
+        self.fabric = NetworkFabric({})
+        sim.add_stepper(self)
+        #: Count of fluid steps executed (diagnostics).
+        self.steps = 0
+
+    # ----------------------------------------------------------------- hosts
+    def add_host(self, name: str, spec: Optional[HostSpec] = None) -> PhysicalHost:
+        """Provision a physical server and register its NIC with the fabric."""
+        if name in self.hosts:
+            raise ValueError(f"host {name!r} already exists")
+        host = PhysicalHost(name, spec or self.default_spec, self.sim.rng)
+        self.hosts[name] = host
+        self.fabric.add_host(name, host.spec.nic.bytes_per_s)
+        return host
+
+    def add_hosts(self, count: int, prefix: str = "host", spec: Optional[HostSpec] = None) -> List[PhysicalHost]:
+        """Provision ``count`` identical servers named ``prefix00``…"""
+        return [self.add_host(f"{prefix}{i:02d}", spec) for i in range(count)]
+
+    # ------------------------------------------------------------------- VMs
+    def boot_vm(
+        self,
+        name: str,
+        host_name: str,
+        *,
+        vcpus: int = 2,
+        mem_gb: float = 8.0,
+        priority: Priority = Priority.LOW,
+        app_id: Optional[str] = None,
+    ) -> VM:
+        """Create a VM and place it on ``host_name``."""
+        if name in self.vms:
+            raise ValueError(f"VM {name!r} already exists")
+        host = self._host(host_name)
+        vm = VM(name, vcpus=vcpus, mem_gb=mem_gb, priority=priority, app_id=app_id)
+        vm.set_host(host_name, host.spec.freq_hz, self.sim.now)
+        host.attach(vm)
+        self.vms[name] = vm
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Detach and delete a VM (its counters vanish with it)."""
+        vm = self._vm(name)
+        self._host(vm.host_name).detach(name)
+        del self.vms[name]
+
+    def migrate_vm(self, name: str, new_host: str) -> None:
+        """Move a VM between hosts (instantaneous; future-work hook)."""
+        vm = self._vm(name)
+        if vm.host_name == new_host:
+            return
+        target = self._host(new_host)
+        self._host(vm.host_name).detach(name)
+        target.attach(vm)
+        vm.set_host(new_host, target.spec.freq_hz, vm.boot_time)
+
+    def vms_on_host(self, host_name: str) -> List[VM]:
+        """All VMs currently placed on ``host_name``."""
+        self._host(host_name)
+        return [vm for vm in self.vms.values() if vm.host_name == host_name]
+
+    # ------------------------------------------------------------------ step
+    def step(self, dt: float) -> None:
+        """One fluid step: host-local allocation, fabric, grant delivery."""
+        results = {
+            name: host.step_local(dt)
+            for name, host in sorted(self.hosts.items())
+        }
+
+        # Resolve network-flow demands against the fabric.
+        flows: List[Flow] = []
+        flow_owners: List[str] = []
+        for host_name, res in results.items():
+            for demander, fd in res.flow_demands:
+                peer = self.vms.get(fd.peer_vm)
+                if peer is None or peer.host_name is None:
+                    continue  # peer gone (e.g. destroyed mid-transfer)
+                if fd.direction == "out":
+                    src_vm, dst_vm = demander, fd.peer_vm
+                    src_host, dst_host = host_name, peer.host_name
+                else:
+                    src_vm, dst_vm = fd.peer_vm, demander
+                    src_host, dst_host = peer.host_name, host_name
+                flows.append(
+                    Flow(
+                        src_vm=src_vm,
+                        dst_vm=dst_vm,
+                        src_host=src_host,
+                        dst_host=dst_host,
+                        bytes_per_s=fd.bytes_per_s,
+                    )
+                )
+                flow_owners.append((host_name, demander, fd.peer_vm))
+
+        delivered = self.fabric.allocate(flows, dt)
+        for (host_name, demander, peer), got in zip(flow_owners, delivered):
+            grant = results[host_name].grants[demander]
+            grant.net_bytes[peer] = grant.net_bytes.get(peer, 0.0) + got
+
+        # Deliver grants.
+        for host_name, res in results.items():
+            for vm_name, grant in res.grants.items():
+                self.vms[vm_name].deliver(grant)
+        self.steps += 1
+
+    # ------------------------------------------------------------- internals
+    def _host(self, name: Optional[str]) -> PhysicalHost:
+        if name is None or name not in self.hosts:
+            raise KeyError(f"unknown host {name!r}")
+        return self.hosts[name]
+
+    def _vm(self, name: str) -> VM:
+        if name not in self.vms:
+            raise KeyError(f"unknown VM {name!r}")
+        return self.vms[name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster(hosts={len(self.hosts)}, vms={len(self.vms)})"

@@ -1,0 +1,87 @@
+"""Workload models: the benchmarks the paper runs.
+
+Two families:
+
+* **Antagonists** (:mod:`~repro.workloads.antagonists`) — the low-priority
+  stressors the paper colocates with the Hadoop/Spark VMs: fio random
+  read (disk-IOPS bound), STREAM (memory-bandwidth/LLC bound), sysbench
+  oltp (mixed) and sysbench cpu (CPU only).  Each is a standalone
+  :class:`~repro.workloads.base.WorkloadDriver` attached directly to a VM.
+
+* **Data-intensive benchmarks** — resource *profiles* for the PUMA
+  MapReduce suite (:mod:`~repro.workloads.puma`) and SparkBench
+  (:mod:`~repro.workloads.sparkbench`).  These are consumed by the
+  framework layer (:mod:`repro.frameworks`), which turns them into jobs,
+  stages and tasks executed on the application's VMs.
+
+:mod:`~repro.workloads.datagen` provides dataset descriptors (TeraGen- and
+Wikipedia-like) and :mod:`~repro.workloads.mix` the Facebook-like job-size
+mixes used in the paper's large-scale evaluation (§IV-C).
+"""
+
+from repro.workloads.base import RateTracker, WorkloadDriver
+from repro.workloads.antagonists import (
+    FioRandomRead,
+    IperfStream,
+    StreamBenchmark,
+    SysbenchCpu,
+    SysbenchOltp,
+)
+from repro.workloads.datagen import Dataset, teragen, wikipedia
+from repro.workloads.puma import (
+    PUMA_BENCHMARKS,
+    MapReduceBenchmarkSpec,
+    adjacency_list,
+    grep,
+    inverted_index,
+    ranked_inverted_index,
+    self_join,
+    term_vector,
+    terasort,
+    wordcount,
+)
+from repro.workloads.sparkbench import (
+    SPARKBENCH_BENCHMARKS,
+    SparkBenchmarkSpec,
+    connected_components,
+    decision_tree,
+    kmeans,
+    logistic_regression,
+    page_rank,
+    svm,
+)
+from repro.workloads.mix import JobRequest, WorkloadMix, facebook_like_mix
+
+__all__ = [
+    "Dataset",
+    "FioRandomRead",
+    "IperfStream",
+    "adjacency_list",
+    "connected_components",
+    "decision_tree",
+    "ranked_inverted_index",
+    "self_join",
+    "term_vector",
+    "JobRequest",
+    "MapReduceBenchmarkSpec",
+    "PUMA_BENCHMARKS",
+    "RateTracker",
+    "SPARKBENCH_BENCHMARKS",
+    "SparkBenchmarkSpec",
+    "StreamBenchmark",
+    "SysbenchCpu",
+    "SysbenchOltp",
+    "WorkloadDriver",
+    "WorkloadMix",
+    "facebook_like_mix",
+    "grep",
+    "inverted_index",
+    "kmeans",
+    "logistic_regression",
+    "page_rank",
+    "svm",
+    "teragen",
+    "terasort",
+    "wikipedia",
+    "wordcount",
+]

@@ -1,0 +1,275 @@
+"""Low-priority antagonist workloads from the paper's experiments.
+
+Demand parameters are chosen so that, on the default
+:class:`~repro.hardware.specs.HostSpec` (R630-like), each stressor
+saturates the same shared resource as its real counterpart:
+
+* :class:`FioRandomRead` — 4 KiB random reads at queue depth; alone it
+  drives the block device to its IOPS ceiling, which is the situation the
+  paper's Figures 1 and 3 create.  Its achieved IOPS is tracked so
+  Fig. 1's "normalized IOPS vs. cap" series can be reproduced.
+* :class:`StreamBenchmark` — the McCalpin STREAM triad: few cores, a
+  working set far beyond any LLC, and as much DRAM bandwidth as it can
+  get.  One instance with 8 threads pressures the memory system; the
+  paper notes 16 total threads (two VMs) cause significant interference
+  while one VM alone has limited effect (§III-B).
+* :class:`SysbenchOltp` — read-only OLTP against a MySQL table: moderate,
+  *bursty* random I/O plus CPU.  Included as a decoy suspect in the
+  identification experiments (Fig. 5/6) — its I/O pattern must NOT
+  correlate with the victim's contention signal.
+* :class:`SysbenchCpu` — prime-number search: pure CPU, tiny working set,
+  negligible I/O.  The other decoy.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.hardware.resources import PerfProfile, ResourceDemand, ResourceGrant
+from repro.workloads.base import RateTracker, TimedDriver
+
+__all__ = ["FioRandomRead", "IperfStream", "StreamBenchmark", "SysbenchOltp", "SysbenchCpu"]
+
+
+class FioRandomRead(TimedDriver):
+    """fio random-read benchmark (``--rw=randread``), O_DIRECT, cache=none."""
+
+    profile = PerfProfile(
+        base_cpi=1.2, llc_sensitivity=0.1, bw_sensitivity=0.2, mpki_min=1.0, mpki_max=3.0
+    )
+
+    def __init__(
+        self,
+        iops_demand: float = 3300.0,
+        block_kb: float = 4.0,
+        duration_s: Optional[float] = None,
+        *,
+        on_s: Optional[float] = None,
+        off_s: float = 0.0,
+    ) -> None:
+        super().__init__(duration_s, on_s=on_s, off_s=off_s)
+        if iops_demand <= 0 or block_kb <= 0:
+            raise ValueError("iops_demand and block_kb must be positive")
+        self.iops_demand = float(iops_demand)
+        self.block_bytes = block_kb * 1024.0
+        self.iops = RateTracker()
+
+    def demand(self) -> ResourceDemand:
+        """Random-read appetite (zero during off-episodes)."""
+        if not self.active:
+            return ResourceDemand()
+        return ResourceDemand(
+            cpu_cores=0.5,  # submission/completion path
+            read_iops=self.iops_demand,
+            read_bytes_ps=self.iops_demand * self.block_bytes,
+            mem_bw_gbps=0.2,
+            llc_ws_mb=2.0,
+        )
+
+    def consume(self, grant: ResourceGrant) -> None:
+        """Track achieved read operations."""
+        self.iops.record(grant.read_ops, grant.dt)
+        self._account_time(grant.dt)
+
+    def achieved_iops(self) -> float:
+        """Windowed read IOPS actually served (Fig. 1's fio series)."""
+        return self.iops.rate()
+
+
+class StreamBenchmark(TimedDriver):
+    """STREAM triad with a multi-GB array (nothing fits in the LLC)."""
+
+    profile = PerfProfile(
+        base_cpi=1.6,
+        llc_sensitivity=0.2,  # already misses everything; contention adds little
+        bw_sensitivity=2.5,  # but bandwidth starvation stalls it directly
+        mpki_min=25.0,
+        mpki_max=30.0,
+    )
+
+    def __init__(
+        self,
+        threads: int = 8,
+        array_gb: float = 16.0,
+        bw_per_thread_gbps: float = 10.0,
+        duration_s: Optional[float] = None,
+        *,
+        on_s: Optional[float] = None,
+        off_s: float = 0.0,
+    ) -> None:
+        super().__init__(duration_s, on_s=on_s, off_s=off_s)
+        if threads <= 0 or array_gb <= 0 or bw_per_thread_gbps <= 0:
+            raise ValueError("threads, array_gb and bw_per_thread_gbps must be positive")
+        self.threads = int(threads)
+        self.array_gb = float(array_gb)
+        self.bw_per_thread_gbps = float(bw_per_thread_gbps)
+        self.bandwidth = RateTracker()
+
+    def demand(self) -> ResourceDemand:
+        """Triad appetite: cores + as much DRAM bandwidth as possible."""
+        if not self.active:
+            return ResourceDemand()
+        return ResourceDemand(
+            cpu_cores=float(self.threads),
+            mem_bw_gbps=self.threads * self.bw_per_thread_gbps,
+            # Streaming touches the whole array; its LLC bid is effectively
+            # unbounded relative to cache size.
+            llc_ws_mb=self.array_gb * 1024.0,
+        )
+
+    def consume(self, grant: ResourceGrant) -> None:
+        """Track achieved DRAM traffic."""
+        self.bandwidth.record(grant.mem_bytes, grant.dt)
+        self._account_time(grant.dt)
+
+    def achieved_bandwidth_gbps(self) -> float:
+        """Windowed DRAM bandwidth actually moved."""
+        return self.bandwidth.rate() / 1e9
+
+
+class SysbenchOltp(TimedDriver):
+    """sysbench OLTP read-only against a 10M-row MySQL table (§III-B).
+
+    I/O arrives in bursts (buffer-pool hit/miss phases) modelled by a slow
+    sinusoidal modulation — enough structure to be visibly *uncorrelated*
+    with a colocated Hadoop job's contention signal.
+    """
+
+    profile = PerfProfile(
+        base_cpi=1.4, llc_sensitivity=0.6, bw_sensitivity=0.5, mpki_min=2.0, mpki_max=8.0
+    )
+
+    def __init__(
+        self,
+        threads: int = 8,
+        iops_scale: float = 150.0,
+        burst_period_s: float = 40.0,
+        duration_s: Optional[float] = 120.0,
+    ) -> None:
+        super().__init__(duration_s)
+        if threads <= 0 or iops_scale < 0 or burst_period_s <= 0:
+            raise ValueError("invalid sysbench oltp parameters")
+        self.threads = int(threads)
+        self.iops_scale = float(iops_scale)
+        self.burst_period_s = float(burst_period_s)
+        self.iops = RateTracker()
+
+    def demand(self) -> ResourceDemand:
+        """OLTP appetite with a slow sinusoidal buffer-pool burst."""
+        if self.finished:
+            return ResourceDemand()
+        phase = 2.0 * math.pi * self.elapsed_s / self.burst_period_s
+        burst = 1.0 + 0.6 * math.sin(phase)
+        iops = self.iops_scale * burst
+        return ResourceDemand(
+            cpu_cores=min(self.threads, 2) * 0.8,
+            read_iops=iops,
+            read_bytes_ps=iops * 16 * 1024.0,  # 16 KiB InnoDB pages
+            mem_bw_gbps=0.5,
+            llc_ws_mb=12.0,
+        )
+
+    def consume(self, grant: ResourceGrant) -> None:
+        """Track achieved page reads."""
+        self.iops.record(grant.read_ops, grant.dt)
+        self._account_time(grant.dt)
+
+
+class SysbenchCpu(TimedDriver):
+    """sysbench cpu: prime search up to 12M with four threads (§III-B)."""
+
+    # The prime-search working set lives in L1/L2: its LLC miss traffic is
+    # a flat trickle that does not respond to LLC occupancy pressure
+    # (mpki_min == mpki_max), which is what makes it a true decoy in the
+    # paper's identification study.
+    profile = PerfProfile(
+        base_cpi=0.8, llc_sensitivity=0.05, bw_sensitivity=0.05, mpki_min=0.12, mpki_max=0.12
+    )
+
+    def __init__(self, threads: int = 4, duration_s: Optional[float] = None) -> None:
+        super().__init__(duration_s)
+        if threads <= 0:
+            raise ValueError("threads must be positive")
+        self.threads = int(threads)
+        self.cpu_time = RateTracker()
+
+    def demand(self) -> ResourceDemand:
+        """Pure CPU appetite; effectively no memory or I/O pressure."""
+        if self.finished:
+            return ResourceDemand()
+        return ResourceDemand(
+            cpu_cores=float(self.threads),
+            mem_bw_gbps=0.05,
+            llc_ws_mb=0.5,
+        )
+
+    def consume(self, grant: ResourceGrant) -> None:
+        """Track consumed core-seconds."""
+        self.cpu_time.record(grant.cpu_coresec, grant.dt)
+        self._account_time(grant.dt)
+
+
+class IperfStream(TimedDriver):
+    """A bulk network stream between two VMs (iperf-style).
+
+    Not part of the paper's antagonist set — included to demonstrate a
+    *blind spot* of the published design: PerfCloud monitors disk and
+    processor metrics only, so a tenant saturating the NICs degrades
+    shuffle-heavy victims without ever tripping a detector.  See
+    ``examples/limitations_network.py``.
+    """
+
+    profile = PerfProfile(
+        base_cpi=1.1, llc_sensitivity=0.1, bw_sensitivity=0.3,
+        mpki_min=1.0, mpki_max=2.0,
+    )
+
+    def __init__(
+        self,
+        peer_vm: str,
+        rate_gbps: float = 9.0,
+        duration_s: Optional[float] = None,
+        *,
+        streams: int = 16,
+        on_s: Optional[float] = None,
+        off_s: float = 0.0,
+    ) -> None:
+        super().__init__(duration_s, on_s=on_s, off_s=off_s)
+        if rate_gbps <= 0:
+            raise ValueError("rate_gbps must be positive")
+        if streams < 1:
+            raise ValueError("streams must be >= 1")
+        self.peer_vm = peer_vm
+        self.rate_bps = rate_gbps * 1e9 / 8.0
+        #: Parallel TCP streams (iperf -P): per-flow max-min fairness means
+        #: a bully needs many flows to crowd out a victim's many flows.
+        self.streams = int(streams)
+        self.delivered = RateTracker()
+
+    def demand(self) -> ResourceDemand:
+        """Parallel bulk streams toward the peer VM."""
+        if not self.active:
+            return ResourceDemand()
+        from repro.hardware.resources import NetFlowDemand
+
+        per_stream = self.rate_bps / self.streams
+        return ResourceDemand(
+            cpu_cores=1.0,
+            mem_bw_gbps=0.5,
+            llc_ws_mb=2.0,
+            flows=tuple(
+                NetFlowDemand(peer_vm=self.peer_vm, bytes_per_s=per_stream,
+                              direction="out")
+                for _ in range(self.streams)
+            ),
+        )
+
+    def consume(self, grant: ResourceGrant) -> None:
+        """Track delivered stream bytes."""
+        self.delivered.record(sum(grant.net_bytes.values()), grant.dt)
+        self._account_time(grant.dt)
+
+    def achieved_gbps(self) -> float:
+        """Windowed delivered stream rate."""
+        return self.delivered.rate() * 8.0 / 1e9

@@ -1,0 +1,140 @@
+"""Workload mixes for the large-scale evaluation (paper §IV-C).
+
+The paper builds two mixes of 100 MapReduce and 100 Spark jobs where "80%
+of the MapReduce jobs have less than 10 map/reduce tasks, and 20% of the
+jobs have 10 to 50 tasks" (mirroring the Facebook production distribution
+cited from the Dolly work), with the Spark mix analogous in tasks per
+stage.  Job sizes are realized by choosing input-data sizes: one HDFS
+block (64 MB) per map task / partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.workloads.datagen import DEFAULT_BLOCK_MB, Dataset, teragen, wikipedia
+from repro.workloads.puma import PUMA_BENCHMARKS
+from repro.workloads.sparkbench import SPARKBENCH_BENCHMARKS
+
+__all__ = ["JobRequest", "WorkloadMix", "facebook_like_mix"]
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """One job to submit: benchmark, input, and arrival time."""
+
+    kind: str  # "mapreduce" | "spark"
+    benchmark: str
+    dataset: Dataset
+    submit_time: float
+    #: MapReduce: reducer count.  Spark: ignored (partitions = blocks).
+    num_reducers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("mapreduce", "spark"):
+            raise ValueError(f"unknown job kind {self.kind!r}")
+        if self.submit_time < 0:
+            raise ValueError("submit_time must be non-negative")
+        if self.num_reducers < 1:
+            raise ValueError("num_reducers must be >= 1")
+
+    @property
+    def num_tasks(self) -> int:
+        """Map tasks (MR) or tasks per stage (Spark)."""
+        return self.dataset.num_blocks
+
+
+@dataclass
+class WorkloadMix:
+    """An ordered collection of job requests."""
+
+    jobs: List[JobRequest] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def __iter__(self):
+        return iter(self.jobs)
+
+    @property
+    def small_fraction(self) -> float:
+        """Fraction of jobs with fewer than 10 tasks."""
+        if not self.jobs:
+            return 0.0
+        return sum(1 for j in self.jobs if j.num_tasks < 10) / len(self.jobs)
+
+    def by_kind(self, kind: str) -> List[JobRequest]:
+        """The subset of requests for one framework."""
+        return [j for j in self.jobs if j.kind == kind]
+
+
+def facebook_like_mix(
+    kind: str,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    small_fraction: float = 0.8,
+    mean_interarrival_s: float = 30.0,
+    start_time: float = 0.0,
+) -> WorkloadMix:
+    """Generate a Facebook-like heavy-tailed-small-jobs mix.
+
+    Small jobs draw 1–9 tasks uniformly; large jobs 10–50.  Arrivals are
+    Poisson with the given mean inter-arrival time.  Input sizes are one
+    64 MB block per task; MapReduce text benchmarks draw Wikipedia-shaped
+    inputs, terasort draws TeraGen-shaped inputs.
+    """
+    if kind not in ("mapreduce", "spark"):
+        raise ValueError(f"unknown job kind {kind!r}")
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if not 0.0 <= small_fraction <= 1.0:
+        raise ValueError("small_fraction must be within [0, 1]")
+    registry: Dict[str, object] = (
+        PUMA_BENCHMARKS if kind == "mapreduce" else SPARKBENCH_BENCHMARKS
+    )
+    if benchmarks is not None:
+        names = list(benchmarks)
+    elif kind == "mapreduce":
+        # The paper's PUMA selection (grep stands in for its light scans).
+        names = ["grep", "inverted-index", "terasort", "wordcount"]
+    else:
+        names = ["kmeans", "logistic-regression", "page-rank", "svm"]
+    for n in names:
+        if n not in registry:
+            raise KeyError(f"unknown {kind} benchmark {n!r}")
+
+    jobs: List[JobRequest] = []
+    t = start_time
+    for i in range(count):
+        t += float(rng.exponential(mean_interarrival_s))
+        if rng.random() < small_fraction:
+            tasks = int(rng.integers(1, 10))
+        else:
+            tasks = int(rng.integers(10, 51))
+        size_mb = tasks * DEFAULT_BLOCK_MB
+        bench = names[int(rng.integers(0, len(names)))]
+        if kind == "mapreduce":
+            dataset = (
+                teragen(size_mb) if bench == "terasort" else wikipedia(size_mb)
+            )
+            reducers = max(1, tasks // 2)
+        else:
+            from repro.workloads.datagen import sparkbench_synthetic
+
+            dataset = sparkbench_synthetic(bench, size_mb)
+            reducers = 1
+        jobs.append(
+            JobRequest(
+                kind=kind,
+                benchmark=bench,
+                dataset=dataset,
+                submit_time=t,
+                num_reducers=reducers,
+            )
+        )
+    return WorkloadMix(jobs=jobs)

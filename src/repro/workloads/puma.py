@@ -1,0 +1,229 @@
+"""PUMA MapReduce benchmark profiles (Purdue MapReduce Benchmark Suite).
+
+The paper evaluates terasort, wordcount and inverted-index from PUMA
+(§I, §IV-A); grep is included as a fourth light-scan profile for the
+workload mixes.  A :class:`MapReduceBenchmarkSpec` captures a benchmark's
+per-byte resource costs; the MapReduce framework layer expands it against
+a :class:`~repro.workloads.datagen.Dataset` into map/shuffle/reduce task
+work vectors.
+
+Profile rationale (per MB of input):
+
+=============== ======= ======= ========== ======= =====================
+benchmark       map cpu shuffle reduce cpu output  character
+=============== ======= ======= ========== ======= =====================
+terasort        0.220   1.00    0.260      1.00    I/O + sort CPU balanced
+wordcount       0.220   0.05    0.060      0.05    map-CPU bound
+inverted-index  0.280   0.35    0.160      0.30    mixed CPU + shuffle
+grep            0.085   0.01    0.015      0.01    scan, tiny output
+=============== ======= ======= ========== ======= =====================
+
+CPU figures are effective core-seconds per MB on the reference host and
+are multiplied by the dataset's ``parse_cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.resources import PerfProfile
+
+__all__ = [
+    "MapReduceBenchmarkSpec",
+    "PUMA_BENCHMARKS",
+    "adjacency_list",
+    "grep",
+    "inverted_index",
+    "ranked_inverted_index",
+    "self_join",
+    "term_vector",
+    "terasort",
+    "wordcount",
+]
+
+
+@dataclass(frozen=True)
+class MapReduceBenchmarkSpec:
+    """Per-byte resource model of one MapReduce benchmark."""
+
+    name: str
+    #: Effective core-seconds of map computation per MB of input.
+    map_cpu_per_mb: float
+    #: Map-output bytes per input byte (what must be shuffled).
+    shuffle_ratio: float
+    #: Effective core-seconds of reduce computation per MB of *shuffle* data.
+    reduce_cpu_per_mb: float
+    #: Final output bytes per input byte.
+    output_ratio: float
+    #: Microarchitectural personality of this benchmark's tasks.
+    profile: PerfProfile
+    #: LLC working set per task, MB.
+    llc_ws_mb: float = 6.0
+    #: DRAM bandwidth appetite per task, GB/s.
+    mem_bw_gbps: float = 0.3
+    #: Mean I/O request size for HDFS streaming reads/writes, bytes.
+    io_size_bytes: float = 512 * 1024.0
+    #: Target per-task streaming read rate used to size nominal durations.
+    read_rate_mbps: float = 5.0
+    #: Target per-task write rate.
+    write_rate_mbps: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.map_cpu_per_mb < 0 or self.reduce_cpu_per_mb < 0:
+            raise ValueError("CPU costs must be non-negative")
+        if not 0 <= self.shuffle_ratio <= 4 or not 0 <= self.output_ratio <= 4:
+            raise ValueError("shuffle/output ratios out of plausible range")
+        if self.io_size_bytes <= 0 or self.read_rate_mbps <= 0 or self.write_rate_mbps <= 0:
+            raise ValueError("I/O parameters must be positive")
+
+
+#: MapReduce tasks are moderately cache-sensitive: sort buffers and spill
+#: merging reuse memory, but most traffic is streaming.
+_MR_PROFILE = PerfProfile(
+    base_cpi=1.0,
+    llc_sensitivity=0.40,
+    bw_sensitivity=0.40,
+    mpki_min=1.5,
+    mpki_max=9.0,
+)
+
+#: terasort moves every byte through sort/merge paths — slightly more
+#: cache pressure than pure scans.
+_SORT_PROFILE = PerfProfile(
+    base_cpi=1.0,
+    llc_sensitivity=0.65,
+    bw_sensitivity=0.65,
+    mpki_min=2.0,
+    mpki_max=10.0,
+)
+
+
+def terasort() -> MapReduceBenchmarkSpec:
+    """TeraSort: identity map, full shuffle, sorted full-size output."""
+    return MapReduceBenchmarkSpec(
+        name="terasort",
+        map_cpu_per_mb=0.220,
+        shuffle_ratio=1.0,
+        reduce_cpu_per_mb=0.260,
+        output_ratio=1.0,
+        profile=_SORT_PROFILE,
+        llc_ws_mb=8.0,
+        mem_bw_gbps=0.4,
+    )
+
+
+def wordcount() -> MapReduceBenchmarkSpec:
+    """WordCount: tokenize-heavy map, tiny combiner-reduced shuffle."""
+    return MapReduceBenchmarkSpec(
+        name="wordcount",
+        map_cpu_per_mb=0.220,
+        shuffle_ratio=0.05,
+        reduce_cpu_per_mb=0.160,
+        output_ratio=0.05,
+        profile=_MR_PROFILE,
+        llc_ws_mb=5.0,
+        mem_bw_gbps=0.25,
+    )
+
+
+def inverted_index() -> MapReduceBenchmarkSpec:
+    """Inverted index: parse + posting-list build, moderate shuffle."""
+    return MapReduceBenchmarkSpec(
+        name="inverted-index",
+        map_cpu_per_mb=0.280,
+        shuffle_ratio=0.35,
+        reduce_cpu_per_mb=0.160,
+        output_ratio=0.30,
+        profile=_MR_PROFILE,
+        llc_ws_mb=7.0,
+        mem_bw_gbps=0.3,
+    )
+
+
+def grep() -> MapReduceBenchmarkSpec:
+    """Grep: scan with rare matches; nearly output-free."""
+    return MapReduceBenchmarkSpec(
+        name="grep",
+        map_cpu_per_mb=0.085,
+        shuffle_ratio=0.01,
+        reduce_cpu_per_mb=0.015,
+        output_ratio=0.01,
+        profile=_MR_PROFILE,
+        llc_ws_mb=3.0,
+        mem_bw_gbps=0.2,
+    )
+
+
+def ranked_inverted_index() -> MapReduceBenchmarkSpec:
+    """Ranked inverted index: posting lists with per-term ranking — the
+    heaviest PUMA indexing profile (big shuffle, sorted reduce output)."""
+    return MapReduceBenchmarkSpec(
+        name="ranked-inverted-index",
+        map_cpu_per_mb=0.320,
+        shuffle_ratio=0.55,
+        reduce_cpu_per_mb=0.220,
+        output_ratio=0.50,
+        profile=_MR_PROFILE,
+        llc_ws_mb=8.0,
+        mem_bw_gbps=0.35,
+    )
+
+
+def term_vector() -> MapReduceBenchmarkSpec:
+    """Term vector per host: tokenize + aggregate, medium shuffle."""
+    return MapReduceBenchmarkSpec(
+        name="term-vector",
+        map_cpu_per_mb=0.250,
+        shuffle_ratio=0.20,
+        reduce_cpu_per_mb=0.100,
+        output_ratio=0.10,
+        profile=_MR_PROFILE,
+        llc_ws_mb=6.0,
+        mem_bw_gbps=0.3,
+    )
+
+
+def self_join() -> MapReduceBenchmarkSpec:
+    """Self-join: candidate generation over sorted keys — shuffle bound."""
+    return MapReduceBenchmarkSpec(
+        name="self-join",
+        map_cpu_per_mb=0.120,
+        shuffle_ratio=0.80,
+        reduce_cpu_per_mb=0.120,
+        output_ratio=0.70,
+        profile=_SORT_PROFILE,
+        llc_ws_mb=7.0,
+        mem_bw_gbps=0.35,
+    )
+
+
+def adjacency_list() -> MapReduceBenchmarkSpec:
+    """Adjacency list construction: graph edges -> per-node lists."""
+    return MapReduceBenchmarkSpec(
+        name="adjacency-list",
+        map_cpu_per_mb=0.180,
+        shuffle_ratio=0.60,
+        reduce_cpu_per_mb=0.170,
+        output_ratio=0.55,
+        profile=_SORT_PROFILE,
+        llc_ws_mb=7.0,
+        mem_bw_gbps=0.3,
+    )
+
+
+#: Registry used by workload mixes and the experiment harness.  The mixes
+#: default to the paper's four core profiles; the remaining PUMA suite
+#: members are available by name.
+PUMA_BENCHMARKS = {
+    spec().name: factory
+    for spec, factory in (
+        (terasort, terasort),
+        (wordcount, wordcount),
+        (inverted_index, inverted_index),
+        (grep, grep),
+        (ranked_inverted_index, ranked_inverted_index),
+        (term_vector, term_vector),
+        (self_join, self_join),
+        (adjacency_list, adjacency_list),
+    )
+}

@@ -1,0 +1,22 @@
+"""Shared fixtures for the PerfCloud reproduction test suite."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def registry():
+    return RngRegistry(root_seed=42)
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1.0, seed=42)

@@ -1,0 +1,74 @@
+"""Determinism and long-run stability of the full stack.
+
+Bit-reproducibility given a seed is a stated design requirement of the
+simulator (policy comparisons rely on "the same random workload"), and
+long idle runs must not leak state or drift.
+"""
+
+from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.workloads.datagen import sparkbench_synthetic, teragen
+from repro.workloads.puma import terasort
+from repro.workloads.sparkbench import logistic_regression
+
+
+def _full_scenario(seed: int):
+    testbed = build_testbed(
+        TestbedConfig(seed=seed, num_hosts=2, num_workers=8, framework="both",
+                      antagonists=(("fio", 0), ("stream", 1)))
+    )
+    testbed.deploy_perfcloud()
+    mr = testbed.jobtracker.submit(terasort(), teragen(320), 5)
+    sp = testbed.spark.submit(
+        logistic_regression(), sparkbench_synthetic("lr", 320)
+    )
+    run_until(
+        testbed.sim,
+        lambda: mr.completion_time is not None and sp.completion_time is not None,
+        8000,
+    )
+    nm = testbed.node_manager()
+    return (
+        mr.completion_time,
+        sp.completion_time,
+        tuple(nm.actions),
+        round(testbed.antagonist_drivers["fio"].iops.total, 6),
+    )
+
+
+def test_same_seed_bit_identical():
+    assert _full_scenario(11) == _full_scenario(11)
+
+
+def test_different_seed_differs():
+    assert _full_scenario(11) != _full_scenario(12)
+
+
+def test_long_idle_run_is_quiet_and_stable():
+    testbed = build_testbed(
+        TestbedConfig(seed=5, num_workers=4, framework="mapreduce")
+    )
+    testbed.deploy_perfcloud()
+    testbed.run(3600)  # an idle hour
+    nm = testbed.node_manager()
+    assert nm.actions == []
+    # Detection history exists but never crossed a threshold.
+    sig = nm.detector.signal("app", "io")
+    assert len(sig) > 700
+    assert max(sig.values()) == 0.0
+    # Counters stayed finite and monotone.
+    for vm in testbed.workers:
+        snap = vm.cgroup.snapshot()
+        assert all(v >= 0 for v in snap.values())
+
+
+def test_monitor_bounded_memory_over_long_run():
+    testbed = build_testbed(
+        TestbedConfig(seed=5, num_workers=2, framework="mapreduce",
+                      antagonists=(("fio", None),))
+    )
+    testbed.deploy_perfcloud()
+    testbed.run(3000)
+    nm = testbed.node_manager()
+    for hist in nm.monitor.history.values():
+        for ts in hist.values():
+            assert len(ts) <= ts.capacity

@@ -1,0 +1,131 @@
+"""End-to-end integration: PerfCloud vs baselines on live scenarios."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.harness import Testbed, TestbedConfig, build_testbed, run_until
+from repro.frameworks.cloning import DollyCloner
+from repro.frameworks.speculation import LateSpeculation
+from repro.workloads.datagen import sparkbench_synthetic, teragen
+from repro.workloads.puma import terasort
+from repro.workloads.sparkbench import logistic_regression
+
+
+def run_terasort(scheme: str, seed: int = 7) -> float:
+    speculation = LateSpeculation() if scheme == "late" else None
+    testbed = build_testbed(
+        TestbedConfig(
+            seed=seed,
+            num_workers=6,
+            framework="mapreduce",
+            antagonists=(("fio", None),),
+            speculation=speculation,
+        )
+    )
+    if scheme == "perfcloud":
+        testbed.deploy_perfcloud()
+    if scheme.startswith("dolly"):
+        cloner = DollyCloner(testbed.jobtracker, int(scheme.split("-")[1]))
+        handle = cloner.submit(
+            lambda tag: testbed.jobtracker.submit(
+                terasort(), teragen(640), 10, clone_of=tag
+            )
+        )
+    else:
+        handle = testbed.jobtracker.submit(terasort(), teragen(640), 10)
+    assert run_until(testbed.sim, lambda: handle.completion_time is not None, 6000)
+    return handle.completion_time
+
+
+def test_perfcloud_beats_default_under_interference():
+    seeds = (3, 7, 11)
+    default = np.mean([run_terasort("default", s) for s in seeds])
+    perfcloud = np.mean([run_terasort("perfcloud", s) for s in seeds])
+    assert perfcloud < default * 0.92  # at least ~8% better on average
+
+
+def test_late_speculates_under_interference():
+    testbed = build_testbed(
+        TestbedConfig(
+            seed=7,
+            num_workers=6,
+            framework="mapreduce",
+            antagonists=(("fio", None), ("stream", None)),
+            speculation=LateSpeculation(min_runtime_s=10.0),
+        )
+    )
+    job = testbed.jobtracker.submit(terasort(), teragen(640), 10)
+    assert run_until(testbed.sim, lambda: job.completion_time is not None, 6000)
+    speculative = [
+        a for t in job.tasks for a in t.attempts if a.speculative
+    ]
+    assert speculative  # LATE actually launched copies
+    assert testbed.jobtracker.ledger.killed_attempts > 0
+    assert testbed.jobtracker.ledger.efficiency < 1.0
+
+
+def test_dolly_efficiency_decreases_with_clone_count():
+    def efficiency(clones: int) -> float:
+        # Enough slots that every clone truly runs (Dolly's regime: the
+        # efficiency cost only shows when clones burn real slot time).
+        testbed = build_testbed(
+            TestbedConfig(seed=7, num_workers=16, framework="mapreduce")
+        )
+        cloner = DollyCloner(testbed.jobtracker, clones)
+        handle = cloner.submit(
+            lambda tag: testbed.jobtracker.submit(
+                terasort(), teragen(192), 3, clone_of=tag
+            )
+        )
+        assert run_until(
+            testbed.sim, lambda: handle.completion_time is not None, 6000
+        )
+        return testbed.jobtracker.ledger.efficiency
+
+    e2, e4 = efficiency(2), efficiency(4)
+    assert e4 < e2 < 1.0
+
+
+def test_spark_app_under_perfcloud_completes_faster():
+    def jct(deploy: bool, seed: int) -> float:
+        testbed = build_testbed(
+            TestbedConfig(
+                seed=seed,
+                num_workers=6,
+                framework="spark",
+                antagonists=(("fio", None), ("stream", None)),
+            )
+        )
+        if deploy:
+            testbed.deploy_perfcloud()
+        app = testbed.spark.submit(
+            logistic_regression(), sparkbench_synthetic("lr", 640)
+        )
+        assert run_until(testbed.sim, lambda: app.completion_time is not None, 8000)
+        return app.completion_time
+
+    seeds = (3, 7, 11)
+    default = np.mean([jct(False, s) for s in seeds])
+    managed = np.mean([jct(True, s) for s in seeds])
+    assert managed < default
+
+
+def test_multi_host_agents_act_independently():
+    testbed = build_testbed(
+        TestbedConfig(
+            seed=5,
+            num_hosts=2,
+            num_workers=8,
+            framework="mapreduce",
+            antagonists=(("fio", 0),),  # only host 0 has an antagonist
+        )
+    )
+    testbed.deploy_perfcloud()
+    job = testbed.jobtracker.submit(terasort(), teragen(640), 10)
+    assert run_until(testbed.sim, lambda: job.completion_time is not None, 6000)
+    nm0 = testbed.perfcloud.node_managers["server00"]
+    nm1 = testbed.perfcloud.node_managers["server01"]
+    assert ("fio", "io") in nm0.cap_states or any(
+        e[1] == "fio" for e in nm0.actions
+    )
+    assert nm1.cap_states == {}

@@ -1,0 +1,97 @@
+"""Failure injection: churn that a production daemon must survive.
+
+The node manager refetches the VM inventory every interval precisely so it
+survives "arrival of new VMs, VM migration, etc." (§III-D2).  These tests
+inject that churn mid-flight: antagonists vanishing between identification
+and actuation, victims migrating mid-job, antagonists arriving late.
+"""
+
+import pytest
+
+from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.frameworks.jobs import JobState
+from repro.workloads.datagen import teragen
+from repro.workloads.puma import terasort
+
+
+def test_antagonist_destroyed_mid_control():
+    """The fio VM disappears while throttled; agents must not crash and
+    the control state must not leak forever."""
+    testbed = build_testbed(
+        TestbedConfig(seed=7, num_workers=6, framework="mapreduce",
+                      antagonists=(("fio", None),))
+    )
+    testbed.deploy_perfcloud()
+    job = testbed.jobtracker.submit(terasort(), teragen(640), 10)
+    testbed.run(30)  # let the throttle engage
+    nm = testbed.node_manager()
+    assert ("fio", "io") in nm.cap_states
+    testbed.cloud.delete("fio")
+    assert run_until(testbed.sim, lambda: job.completion_time is not None, 6000)
+    # Monitoring forgot the VM; later intervals ran fine.
+    assert "fio" not in nm.monitor.history or job.completion_time is not None
+
+
+def test_late_arriving_antagonist_detected():
+    """A neighbour booted mid-job is picked up by the next inventory fetch."""
+    testbed = build_testbed(
+        TestbedConfig(seed=7, num_workers=6, framework="mapreduce")
+    )
+    testbed.deploy_perfcloud()
+    job = testbed.jobtracker.submit(terasort(), teragen(1280), 20)
+    testbed.run(20)
+    testbed.add_antagonist("late-fio", "fio", host="server00")
+    assert run_until(testbed.sim, lambda: job.completion_time is not None, 8000)
+    nm = testbed.node_manager()
+    assert any(vm == "late-fio" for (_, vm, _, _) in nm.actions)
+
+
+def test_worker_migration_mid_job():
+    """A worker VM migrates to another host mid-job; the job completes and
+    the agents on both hosts keep running."""
+    testbed = build_testbed(
+        TestbedConfig(seed=7, num_hosts=2, num_workers=6,
+                      framework="mapreduce")
+    )
+    testbed.deploy_perfcloud()
+    job = testbed.jobtracker.submit(terasort(), teragen(640), 10)
+    testbed.run(15)
+    mover = testbed.workers[0]
+    src = mover.host_name
+    dst = "server01" if src == "server00" else "server00"
+    testbed.cloud.migrate(mover.name, dst)
+    assert mover.host_name == dst
+    assert run_until(testbed.sim, lambda: job.completion_time is not None, 8000)
+    assert job.state is JobState.SUCCEEDED
+
+
+def test_static_policy_survives_vm_deletion():
+    from repro.core.policies import StaticCapPolicy
+
+    testbed = build_testbed(
+        TestbedConfig(seed=3, num_workers=4, framework="mapreduce",
+                      antagonists=(("fio", None),))
+    )
+    policy = StaticCapPolicy(
+        testbed.sim, testbed.cloud,
+        io_caps={"fio": (0.2, 1500 * 4096.0)},
+    )
+    testbed.cloud.delete("fio")
+    policy.stop()  # must not raise on the departed VM
+
+
+def test_idle_cluster_agents_are_quiet():
+    """Agents on a host with no high-priority app never actuate."""
+    testbed = build_testbed(
+        TestbedConfig(seed=3, num_hosts=2, num_workers=2,
+                      framework="mapreduce", antagonists=(("fio", 1),))
+    )
+    # All workers land on server00; the fio VM has server01 to itself.
+    for w in testbed.workers:
+        if w.host_name != "server00":
+            testbed.cloud.migrate(w.name, "server00")
+    testbed.deploy_perfcloud()
+    testbed.run(100)
+    nm1 = testbed.perfcloud.node_managers["server01"]
+    assert nm1.actions == []
+    assert nm1.cap_states == {}

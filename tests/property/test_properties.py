@@ -1,0 +1,367 @@
+"""Property-based tests (hypothesis) for core invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PerfCloudConfig
+from repro.core.cubic import CubicController
+from repro.hardware.cpu import allocate_cpu
+from repro.hardware.disk import BlockDevice, DiskRequest
+from repro.hardware.network import Flow, NetworkFabric
+from repro.hardware.specs import DiskSpec
+from repro.metrics.correlation import pearson
+from repro.metrics.ewma import Ewma
+from repro.metrics.stats import group_std, normalize_by_peak
+from repro.metrics.timeseries import TimeSeries
+
+finite = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+demands = st.dictionaries(
+    st.integers(min_value=0, max_value=20), finite, min_size=1, max_size=12
+)
+
+
+# ----------------------------------------------------------------- CPU alloc
+
+@given(
+    demands=demands,
+    capacity=st.floats(min_value=0.0, max_value=128.0),
+    cap_frac=st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_cpu_allocation_invariants(demands, capacity, cap_frac):
+    weights = {vm: 1.0 + (vm % 4) for vm in demands}
+    caps = {vm: (d * cap_frac if vm % 2 == 0 else None) for vm, d in demands.items()}
+    grants = allocate_cpu(demands, weights, caps, capacity)
+    total = sum(grants.values())
+    assert total <= capacity + 1e-6 or total <= sum(
+        min(d, caps[vm]) if caps[vm] is not None else d
+        for vm, d in demands.items()
+    ) + 1e-6
+    for vm, g in grants.items():
+        limit = demands[vm]
+        if caps[vm] is not None:
+            limit = min(limit, caps[vm])
+        assert -1e-9 <= g <= limit + 1e-6
+
+
+@given(demands=demands, capacity=st.floats(min_value=1.0, max_value=64.0))
+@settings(max_examples=100, deadline=None)
+def test_cpu_allocation_work_conserving(demands, capacity):
+    """If total demand fits, everyone is fully served."""
+    total_demand = sum(demands.values())
+    caps = {vm: None for vm in demands}
+    grants = allocate_cpu(demands, {vm: 1.0 for vm in demands}, caps, capacity)
+    if total_demand <= capacity:
+        for vm, d in demands.items():
+            assert grants[vm] == pytest.approx(d, abs=1e-9)
+
+
+# ----------------------------------------------------------------------- disk
+
+@given(
+    iops=st.lists(st.floats(min_value=0.0, max_value=1e4), min_size=1, max_size=8),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+@settings(max_examples=100, deadline=None)
+def test_disk_grants_bounded(iops, seed):
+    dev = BlockDevice(DiskSpec(), np.random.default_rng(seed))
+    reqs = {
+        i: DiskRequest(read_iops=x, read_bytes_ps=x * 4096.0)
+        for i, x in enumerate(iops)
+    }
+    grants = dev.allocate(reqs, dt=1.0)
+    total_ops = sum(g.total_ops for g in grants.values())
+    assert total_ops <= DiskSpec().max_iops + 1e-6
+    for i, g in grants.items():
+        assert g.read_ops <= reqs[i].read_iops + 1e-6
+        assert g.wait_ms_per_op >= 0.0
+
+
+@given(
+    demand=st.floats(min_value=1.0, max_value=1e4),
+    cap=st.floats(min_value=0.0, max_value=1e4),
+)
+@settings(max_examples=100, deadline=None)
+def test_disk_cap_respected(demand, cap):
+    dev = BlockDevice(DiskSpec(), np.random.default_rng(0))
+    g = dev.allocate(
+        {"a": DiskRequest(read_iops=demand, iops_cap=cap)}, dt=1.0
+    )["a"]
+    assert g.read_ops <= min(demand, cap) + 1e-6
+
+
+# -------------------------------------------------------------------- network
+
+@given(
+    n=st.integers(min_value=1, max_value=10),
+    demand=st.floats(min_value=0.0, max_value=1e10),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_network_nic_capacity_never_exceeded(n, demand, seed):
+    rng = np.random.default_rng(seed)
+    hosts = {f"h{i}": 1e9 for i in range(4)}
+    fabric = NetworkFabric(hosts)
+    flows = []
+    for i in range(n):
+        src, dst = rng.choice(4, size=2, replace=False)
+        flows.append(Flow(f"s{i}", f"d{i}", f"h{src}", f"h{dst}", demand))
+    delivered = fabric.allocate(flows, dt=1.0)
+    egress = {h: 0.0 for h in hosts}
+    ingress = {h: 0.0 for h in hosts}
+    for f, got in zip(flows, delivered):
+        assert got <= f.bytes_per_s * 1.0 + 1e-3
+        egress[f.src_host] += got
+        ingress[f.dst_host] += got
+    for h in hosts:
+        assert egress[h] <= 1e9 * 1.02
+        assert ingress[h] <= 1e9 * 1.02
+
+
+# -------------------------------------------------------------------- pearson
+
+@given(
+    xs=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=40),
+    ys=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=40),
+)
+@settings(max_examples=200, deadline=None)
+def test_pearson_bounded(xs, ys):
+    n = min(len(xs), len(ys))
+    r = pearson(xs[:n], ys[:n])
+    assert -1.0 <= r <= 1.0
+
+
+@given(
+    xs=st.lists(
+        st.floats(min_value=-1e3, max_value=1e3), min_size=3, max_size=20
+    ),
+    a=st.floats(min_value=0.01, max_value=100.0),
+    b=st.floats(min_value=-100.0, max_value=100.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_pearson_affine_invariant(xs, a, b):
+    ys = [a * x + b for x in xs]
+    r = pearson(xs, ys)
+    # Skip near-degenerate inputs that trip the variance guard.
+    spread = max(xs) - min(xs)
+    if spread > 1e-3:
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+
+@given(xs=st.lists(st.floats(min_value=-1e3, max_value=1e3), min_size=2, max_size=20))
+@settings(max_examples=100, deadline=None)
+def test_pearson_symmetric(xs):
+    ys = list(reversed(xs))
+    assert pearson(xs, ys) == pytest.approx(pearson(ys, xs), abs=1e-9)
+
+
+# ----------------------------------------------------------------------- EWMA
+
+@given(
+    samples=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    alpha=st.floats(min_value=0.01, max_value=1.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_ewma_stays_within_sample_range(samples, alpha):
+    f = Ewma(alpha)
+    for x in samples:
+        v = f.update(x)
+        assert min(samples) - 1e-6 <= v <= max(samples) + 1e-6
+
+
+# ---------------------------------------------------------------------- CUBIC
+
+@given(
+    c_max=st.floats(min_value=0.05, max_value=2.0),
+    beta=st.floats(min_value=0.1, max_value=0.9),
+    gamma=st.floats(min_value=0.001, max_value=0.05),
+)
+@settings(max_examples=200, deadline=None)
+def test_cubic_growth_anchored_and_monotone(c_max, beta, gamma):
+    cfg = PerfCloudConfig(beta=beta, gamma=gamma)
+    controller = CubicController(cfg)
+    curve = controller.growth_curve(c_max, 20)
+    # Eq. 1 at T=0 equals the post-decrease cap (1-beta)*c_max.
+    assert curve[0] == pytest.approx((1 - beta) * c_max, rel=1e-6)
+    assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+    k = controller.k(c_max)
+    # The curve crosses c_max at T = K.
+    below = [t for t in range(21) if curve[t] < c_max - 1e-9]
+    assert all(t < k + 1e-9 for t in below)
+
+
+@given(
+    usage=st.floats(min_value=1e-3, max_value=1e9),
+    pattern=st.lists(st.booleans(), min_size=1, max_size=60),
+)
+@settings(max_examples=200, deadline=None)
+def test_cubic_state_invariants(usage, pattern):
+    controller = CubicController(PerfCloudConfig())
+    state = controller.start(usage)
+    for contention in pattern:
+        controller.update(state, contention)
+        if not state.released:
+            assert state.cap >= PerfCloudConfig().cap_floor_frac - 1e-12
+            assert state.absolute_cap == pytest.approx(state.cap * usage)
+        assert state.t >= 0
+
+
+# ---------------------------------------------------------------------- stats
+
+@given(vals=st.lists(st.floats(min_value=-1e6, max_value=1e6), max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_group_std_non_negative(vals):
+    assert group_std(vals) >= 0.0
+
+
+@given(vals=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_normalize_by_peak_bounded(vals):
+    out = normalize_by_peak(vals)
+    assert np.all(np.abs(out) <= 1.0 + 1e-9)
+
+
+# ------------------------------------------------------------------ timeseries
+
+@given(
+    values=st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1, max_size=50),
+    capacity=st.integers(min_value=1, max_value=64),
+)
+@settings(max_examples=100, deadline=None)
+def test_timeseries_retains_most_recent(values, capacity):
+    ts = TimeSeries(capacity=capacity)
+    for i, v in enumerate(values):
+        ts.append(float(i), v)
+    kept = ts.values().tolist()
+    expected = values[-capacity:]
+    assert kept == pytest.approx(expected)
+    t, v = ts.tail(5)
+    assert len(t) == min(5, len(expected))
+
+
+# ------------------------------------------------------------------- attempts
+
+@given(
+    grants=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=5.0),   # effective cpu
+            st.floats(min_value=0.0, max_value=5e6),   # read bytes
+            st.floats(min_value=0.0, max_value=500.0), # read ops
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_attempt_progress_monotone_and_bounded(grants):
+    from repro.frameworks.jobs import Job, Task, TaskWork
+
+    job = Job("j", "b", "mapreduce", 0.0)
+    task = Task("t", job, "map", TaskWork(
+        cpu_coresec=20.0, read_bytes=20e6, read_ops=2000.0))
+    job.add_task(task)
+    attempt = task.new_attempt("vm", now=0.0)
+    last = attempt.progress
+    for i, (cpu, rb, ro) in enumerate(grants):
+        attempt.advance(effective_coresec=cpu, read_bytes=rb, read_ops=ro,
+                        now=float(i + 1))
+        p = attempt.progress
+        assert 0.0 <= p <= 1.0
+        assert p >= last - 1e-12
+        last = p
+        for rem in (attempt.rem_cpu, attempt.rem_read_bytes,
+                    attempt.rem_read_ops):
+            assert rem >= 0.0
+    if attempt.work_done:
+        assert attempt.progress == pytest.approx(1.0)
+
+
+@given(
+    shares=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                    min_size=2, max_size=6),
+    amount=st.floats(min_value=0.0, max_value=1e6),
+)
+@settings(max_examples=100, deadline=None)
+def test_composite_split_conserves(shares, amount):
+    from repro.frameworks.executor import CompositeDriver
+    from repro.hardware.resources import ResourceDemand, ResourceGrant
+
+    class Child:
+        def __init__(self, cpu):
+            self.cpu = cpu
+            self.got = 0.0
+            self.finished = False
+
+        def demand(self):
+            return ResourceDemand(cpu_cores=self.cpu)
+
+        def consume(self, grant):
+            self.got += grant.cpu_coresec
+
+    children = [Child(c) for c in shares]
+    comp = CompositeDriver(children)
+    comp.demand()
+    comp.consume(ResourceGrant(dt=1.0, cpu_coresec=amount,
+                               effective_coresec=amount))
+    assert sum(c.got for c in children) == pytest.approx(amount, rel=1e-9, abs=1e-9)
+
+
+# --------------------------------------------------------------------- memsys
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    ws=st.floats(min_value=0.0, max_value=5000.0),
+    bw=st.floats(min_value=0.0, max_value=100.0),
+    cores=st.floats(min_value=0.0, max_value=8.0),
+    seed=st.integers(min_value=0, max_value=200),
+)
+@settings(max_examples=100, deadline=None)
+def test_memsys_invariants(n, ws, bw, cores, seed):
+    from repro.hardware.memsys import MemorySystem, MemRequest
+    from repro.hardware.specs import MemSpec
+
+    ms = MemorySystem(MemSpec(), np.random.default_rng(seed))
+    reqs = {
+        i: MemRequest(llc_ws_mb=ws, mem_bw_gbps=bw, active_cores=cores,
+                      demand_cores=max(cores, 1.0), base_cpi=1.0,
+                      llc_sensitivity=0.5, bw_sensitivity=0.5)
+        for i in range(n)
+    }
+    out = ms.evaluate(reqs, dt=1.0)
+    total_occ = sum(o.occupancy_mb for o in out.values())
+    assert total_occ <= MemSpec().llc_mb + 1e-6
+    total_gb = sum(o.mem_bytes for o in out.values()) / 1e9
+    assert total_gb <= MemSpec().bandwidth_gbps + 1e-6
+    for o in out.values():
+        assert o.cpi > 0
+        assert 0.0 <= o.extra_miss_factor <= 1.0
+        assert 0.0 <= o.bw_stall < 1.0
+
+
+@given(
+    n=st.integers(min_value=1, max_value=8),
+    sockets=st.integers(min_value=1, max_value=4),
+    ws=st.floats(min_value=0.0, max_value=5000.0),
+    bw=st.floats(min_value=0.0, max_value=100.0),
+    seed=st.integers(min_value=0, max_value=100),
+)
+@settings(max_examples=60, deadline=None)
+def test_numa_memsys_conserves_per_socket(n, sockets, ws, bw, seed):
+    from repro.hardware.memsys import MemRequest
+    from repro.hardware.numa import NumaMemorySystem
+    from repro.hardware.specs import MemSpec
+
+    ms = NumaMemorySystem(MemSpec(), np.random.default_rng(seed), sockets=sockets)
+    reqs = {
+        i: MemRequest(llc_ws_mb=ws, mem_bw_gbps=bw, active_cores=2.0,
+                      demand_cores=2.0)
+        for i in range(n)
+    }
+    out = ms.evaluate(reqs, dt=1.0)
+    assert set(out) == set(reqs)  # every VM gets an outcome exactly once
+    total_gb = sum(o.mem_bytes for o in out.values()) / 1e9
+    assert total_gb <= MemSpec().bandwidth_gbps + 1e-6

@@ -1,0 +1,139 @@
+"""Unit tests for the cloud manager, placement and migration."""
+
+import pytest
+
+from repro.cloud.migration import MigrationManager
+from repro.cloud.nova import FLAVORS, CloudManager
+from repro.cloud.placement import PackPlacement, RandomPlacement, SpreadPlacement
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+
+
+def make_cloud(hosts=2, seed=0, placement=None):
+    sim = Simulator(dt=1.0, seed=seed)
+    cluster = Cluster(sim)
+    for i in range(hosts):
+        cluster.add_host(f"h{i}")
+    return sim, cluster, CloudManager(cluster, placement)
+
+
+def test_boot_uses_flavor_dimensions():
+    _, _, cloud = make_cloud()
+    vm = cloud.boot("a", "m1.xlarge")
+    assert vm.vcpus == FLAVORS["m1.xlarge"].vcpus
+    assert vm.mem_gb == FLAVORS["m1.xlarge"].mem_gb
+
+
+def test_boot_unknown_flavor():
+    _, _, cloud = make_cloud()
+    with pytest.raises(KeyError):
+        cloud.boot("a", "t2.nano")
+
+
+def test_spread_placement_balances():
+    _, cluster, cloud = make_cloud(hosts=2)
+    for i in range(4):
+        cloud.boot(f"vm{i}")
+    assert len(cluster.vms_on_host("h0")) == 2
+    assert len(cluster.vms_on_host("h1")) == 2
+
+
+def test_pack_placement_consolidates():
+    _, cluster, cloud = make_cloud(hosts=2, placement=PackPlacement())
+    cloud.boot("seed0", host="h1")  # bias initial load
+    for i in range(3):
+        cloud.boot(f"vm{i}")
+    assert len(cluster.vms_on_host("h1")) == 4
+
+
+def test_random_placement_uses_rng():
+    sim, cluster, _ = make_cloud(hosts=4, seed=9)[0], None, None
+    sim = Simulator(dt=1.0, seed=9)
+    cluster = Cluster(sim)
+    for i in range(4):
+        cluster.add_host(f"h{i}")
+    cloud = CloudManager(cluster, RandomPlacement(sim.rng.stream("placement")))
+    hosts = {cloud.boot(f"vm{i}").host_name for i in range(12)}
+    assert len(hosts) > 1
+
+
+def test_instances_on_host_reports_metadata():
+    _, _, cloud = make_cloud()
+    cloud.boot("hi", host="h0", priority=Priority.HIGH, app_id="hadoop")
+    cloud.boot("lo", host="h0")
+    infos = {i.name: i for i in cloud.instances_on_host("h0")}
+    assert infos["hi"].is_high_priority
+    assert infos["hi"].app_id == "hadoop"
+    assert not infos["lo"].is_high_priority
+    assert infos["lo"].app_id is None
+
+
+def test_boot_many_and_delete():
+    _, cluster, cloud = make_cloud()
+    vms = cloud.boot_many("w", 4, app_id="app", priority=Priority.HIGH)
+    assert len(vms) == 4
+    cloud.delete("w000")
+    assert "w000" not in cluster.vms
+
+
+def test_hypervisor_and_connection_cached():
+    _, _, cloud = make_cloud()
+    assert cloud.hypervisor("h0") is cloud.hypervisor("h0")
+    assert cloud.connection("h0").hostname() == "h0"
+
+
+def test_conflict_reports():
+    sim, _, cloud = make_cloud()
+    cloud.report_conflict("h0", ["a", "b"], now=5.0)
+    assert cloud.conflict_reports == [(5.0, "h0", ("a", "b"))]
+
+
+# ------------------------------------------------------------------ migration
+
+def test_migration_manager_resolves_conflicts():
+    sim, cluster, cloud = make_cloud(hosts=3)
+    a = [cloud.boot(f"a{i}", host="h0", priority=Priority.HIGH, app_id="A")
+         for i in range(3)]
+    b = [cloud.boot(f"b{i}", host="h0", priority=Priority.HIGH, app_id="B")
+         for i in range(2)]
+    mgr = MigrationManager(sim, cloud, check_interval_s=10.0)
+    cloud.report_conflict("h0", ["A", "B"], now=0.0)
+    sim.run(15.0)
+    # The smaller app (B) moved off h0.
+    assert all(vm.host_name != "h0" for vm in b)
+    assert all(vm.host_name == "h0" for vm in a)
+    assert len(mgr.migrations) == 2
+
+
+def test_migration_brownout_suspends_and_resumes():
+    sim, cluster, cloud = make_cloud(hosts=2)
+
+    class Dummy:
+        finished = False
+
+        def demand(self):
+            from repro.hardware.resources import ResourceDemand
+            return ResourceDemand(cpu_cores=1.0)
+
+        def consume(self, grant):
+            pass
+
+    vm = cloud.boot("mover", host="h0")
+    drv = Dummy()
+    vm.attach_workload(drv)
+    mgr = MigrationManager(sim, cloud, check_interval_s=1000.0)
+    mgr.migrate("mover", "h1")
+    assert vm.host_name == "h1"
+    assert vm.driver is None  # brown-out window
+    sim.run(30.0)
+    assert vm.driver is drv  # resumed
+
+
+def test_migration_manager_stop():
+    sim, _, cloud = make_cloud()
+    mgr = MigrationManager(sim, cloud, check_interval_s=5.0)
+    mgr.stop()
+    cloud.report_conflict("h0", ["A", "B"], now=0.0)
+    sim.run(20.0)
+    assert mgr.migrations == []

@@ -1,0 +1,275 @@
+"""Unit tests for monitor, detector, identifier and node manager."""
+
+import pytest
+
+from repro.core.config import PerfCloudConfig
+from repro.core.detector import InterferenceDetector
+from repro.core.identification import AntagonistIdentifier
+from repro.core.monitor import PerformanceMonitor, VmSample
+from repro.core.node_manager import NodeManager
+from repro.cloud.nova import CloudManager
+from repro.hardware.resources import PerfProfile, ResourceDemand
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+
+
+class SteadyDriver:
+    """Constant-demand driver for controlled monitor tests."""
+
+    finished = False
+    profile = PerfProfile()
+
+    def __init__(self, cpu=1.0, iops=100.0):
+        self.cpu = cpu
+        self.iops = iops
+
+    def demand(self):
+        return ResourceDemand(
+            cpu_cores=self.cpu,
+            read_iops=self.iops,
+            read_bytes_ps=self.iops * 4096.0,
+            mem_bw_gbps=0.2,
+            llc_ws_mb=4.0,
+        )
+
+    def consume(self, grant):
+        pass
+
+
+def make_world(n_high=3, n_low=1, seed=3):
+    sim = Simulator(dt=1.0, seed=seed)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    high = []
+    for i in range(n_high):
+        vm = cloud.boot(f"hi{i}", host="h0", priority=Priority.HIGH, app_id="app")
+        vm.attach_workload(SteadyDriver())
+        high.append(vm)
+    low = []
+    for i in range(n_low):
+        vm = cloud.boot(f"lo{i}", host="h0", priority=Priority.LOW)
+        vm.attach_workload(SteadyDriver(cpu=2.0, iops=500.0))
+        low.append(vm)
+    return sim, cluster, cloud, high, low
+
+
+# -------------------------------------------------------------------- monitor
+
+def test_monitor_first_sample_is_empty_then_deltas():
+    sim, _, cloud, high, _ = make_world()
+    mon = PerformanceMonitor(cloud.connection("h0"), PerfCloudConfig())
+    sim.run(5.0)
+    assert mon.sample(5.0) == {}  # no previous counters yet
+    sim.run(10.0)
+    samples = mon.sample(10.0)
+    assert set(samples) >= {vm.name for vm in high}
+    s = samples["hi0"]
+    assert s.io_bytes_ps > 0
+    assert s.cpi > 0
+    assert s.cpu_usage_cores == pytest.approx(1.0, rel=0.2)
+
+
+def test_monitor_history_accumulates():
+    sim, _, cloud, _, _ = make_world()
+    mon = PerformanceMonitor(cloud.connection("h0"), PerfCloudConfig())
+    for t in (5.0, 10.0, 15.0, 20.0):
+        sim.run(t)
+        mon.sample(t)
+    hist = mon.history["hi0"]
+    assert len(hist["io_bytes_ps"]) == 3
+    assert len(hist["cpi"]) == 3
+
+
+def test_monitor_idle_vm_has_no_llc_sample():
+    sim, cluster, cloud, _, _ = make_world(n_low=0)
+    idle = cloud.boot("idle", host="h0", priority=Priority.LOW)
+    mon = PerformanceMonitor(cloud.connection("h0"), PerfCloudConfig())
+    sim.run(5.0)
+    mon.sample(5.0)
+    sim.run(10.0)
+    samples = mon.sample(10.0)
+    assert samples["idle"].llc_miss_rate is None
+    assert samples["idle"].cpi == 0.0
+    # Missing-as-zero: the history simply has no llc sample at t=10.
+    assert len(mon.history["idle"]["llc_miss_rate"]) == 0
+
+
+def test_monitor_forgets_departed_vms():
+    sim, cluster, cloud, _, low = make_world()
+    mon = PerformanceMonitor(cloud.connection("h0"), PerfCloudConfig())
+    sim.run(5.0)
+    mon.sample(5.0)
+    cluster.destroy_vm("lo0")
+    sim.run(10.0)
+    samples = mon.sample(10.0)
+    assert "lo0" not in samples
+
+
+# ------------------------------------------------------------------- detector
+
+def _samples(values):
+    return {
+        f"vm{i}": VmSample(
+            time=0.0, iowait_ratio=v, cpi=c, io_bytes_ps=0.0,
+            llc_miss_rate=None, cpu_usage_cores=1.0,
+        )
+        for i, (v, c) in enumerate(values)
+    }
+
+
+def test_detector_thresholds():
+    det = InterferenceDetector(PerfCloudConfig())
+    # Tight group: no contention.
+    res = det.evaluate(5.0, _samples([(2.0, 1.0), (2.5, 1.1), (2.2, 0.9)]),
+                       {"app": ["vm0", "vm1", "vm2"]})["app"]
+    assert not res.io_contention and not res.cpu_contention
+    # Wild iowait spread: I/O contention.
+    res = det.evaluate(10.0, _samples([(2.0, 1.0), (50.0, 1.1), (2.0, 0.9)]),
+                       {"app": ["vm0", "vm1", "vm2"]})["app"]
+    assert res.io_contention
+    assert res.any_contention
+
+
+def test_detector_single_member_never_triggers():
+    det = InterferenceDetector(PerfCloudConfig())
+    res = det.evaluate(5.0, _samples([(99.0, 99.0)]), {"app": ["vm0"]})["app"]
+    assert not res.any_contention
+
+
+def test_detector_ignores_idle_cpi_zero():
+    det = InterferenceDetector(PerfCloudConfig())
+    res = det.evaluate(
+        5.0, _samples([(1.0, 0.0), (1.0, 2.0), (1.0, 2.1)]),
+        {"app": ["vm0", "vm1", "vm2"]},
+    )["app"]
+    assert res.cpi_std < 1.0  # vm0's idle 0.0 is excluded
+
+
+def test_detector_signal_history():
+    det = InterferenceDetector(PerfCloudConfig())
+    det.evaluate(5.0, _samples([(2.0, 1.0), (3.0, 1.0)]), {"app": ["vm0", "vm1"]})
+    det.evaluate(10.0, _samples([(2.0, 1.0), (9.0, 1.0)]), {"app": ["vm0", "vm1"]})
+    sig = det.signal("app", "io")
+    assert len(sig) == 2
+    with pytest.raises(ValueError):
+        det.signal("app", "bogus")
+    with pytest.raises(KeyError):
+        det.signal("ghost", "io")
+
+
+# ----------------------------------------------------------------- identifier
+
+def _ts(pairs):
+    ts = TimeSeries()
+    for t, v in pairs:
+        ts.append(t, v)
+    return ts
+
+
+def test_identifier_flags_correlated_suspect():
+    ident = AntagonistIdentifier(PerfCloudConfig())
+    victim = _ts([(5 * i, float(i % 4)) for i in range(1, 9)])
+    guilty = _ts([(5 * i, 10.0 * (i % 4)) for i in range(1, 9)])
+    innocent = _ts([(5 * i, 7.0) for i in range(1, 9)])
+    res = ident.identify("io", victim, {"g": guilty, "i": innocent}, now=40.0)
+    assert res.correlations["g"] == pytest.approx(1.0)
+    assert "g" in res.antagonists
+    assert "i" not in res.antagonists
+
+
+def test_identifier_needs_min_samples():
+    ident = AntagonistIdentifier(PerfCloudConfig())
+    victim = _ts([(5.0, 1.0), (10.0, 2.0)])
+    suspect = _ts([(5.0, 1.0), (10.0, 2.0)])
+    res = ident.identify("io", victim, {"s": suspect}, now=10.0)
+    assert res.correlations["s"] == 0.0
+    assert not res.antagonists
+
+
+def test_identifier_ttl_keeps_recent_antagonists():
+    cfg = PerfCloudConfig(antagonist_ttl_s=30.0)
+    ident = AntagonistIdentifier(cfg)
+    victim = _ts([(5 * i, float(i % 4)) for i in range(1, 9)])
+    guilty = _ts([(5 * i, 10.0 * (i % 4)) for i in range(1, 9)])
+    ident.identify("io", victim, {"g": guilty}, now=40.0)
+    # Later, the (now throttled) suspect's signal is flat.
+    flat = _ts([(5 * i, 0.0) for i in range(1, 12)])
+    res = ident.identify("io", victim, {"g": flat}, now=60.0)
+    assert "g" in res.antagonists  # within TTL
+    res = ident.identify("io", victim, {"g": flat}, now=200.0)
+    assert "g" not in res.antagonists  # TTL expired
+
+
+def test_identifier_forget():
+    ident = AntagonistIdentifier(PerfCloudConfig())
+    victim = _ts([(5 * i, float(i % 4)) for i in range(1, 9)])
+    guilty = _ts([(5 * i, 10.0 * (i % 4)) for i in range(1, 9)])
+    ident.identify("io", victim, {"g": guilty}, now=40.0)
+    ident.forget("g")
+    flat = _ts([(5 * i, 0.0) for i in range(1, 9)])
+    res = ident.identify("io", victim, {"g": flat}, now=45.0)
+    assert "g" not in res.antagonists
+
+
+def test_identifier_rejects_bad_resource():
+    ident = AntagonistIdentifier(PerfCloudConfig())
+    with pytest.raises(ValueError):
+        ident.identify("gpu", _ts([]), {}, now=0.0)
+
+
+# --------------------------------------------------------------- node manager
+
+def test_node_manager_reports_conflicts():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    cloud.boot("a0", host="h0", priority=Priority.HIGH, app_id="appA")
+    cloud.boot("b0", host="h0", priority=Priority.HIGH, app_id="appB")
+    NodeManager(sim, "h0", cloud)
+    sim.run(11.0)
+    assert cloud.conflict_reports
+    _, host, apps = cloud.conflict_reports[0]
+    assert host == "h0" and apps == ("appA", "appB")
+
+
+def test_node_manager_start_stop():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    nm = NodeManager(sim, "h0", cloud, autostart=False)
+    sim.run(20.0)
+    assert not nm.monitor.history
+    nm.start()
+    sim.run(40.0)
+    nm.stop()
+    fired = sim.events_fired
+    sim.run(80.0)
+    assert sim.events_fired == fired  # no further control intervals
+
+
+def test_identifier_correlations_reported_even_below_threshold():
+    ident = AntagonistIdentifier(PerfCloudConfig())
+    victim = _ts([(5 * i, float(i % 4)) for i in range(1, 9)])
+    anti = _ts([(5 * i, -10.0 * (i % 4)) for i in range(1, 9)])
+    res = ident.identify("cpu", victim, {"a": anti}, now=40.0)
+    assert res.correlations["a"] == pytest.approx(-1.0)
+    assert res.antagonists == set()
+    assert res.resource == "cpu"
+
+
+def test_detector_separate_apps_tracked_independently():
+    det = InterferenceDetector(PerfCloudConfig())
+    det.evaluate(
+        5.0,
+        _samples([(2.0, 1.0), (50.0, 1.1), (1.0, 0.9), (1.2, 1.0)]),
+        {"appA": ["vm0", "vm1"], "appB": ["vm2", "vm3"]},
+    )
+    a = det.signal("appA", "io").last_value
+    b = det.signal("appB", "io").last_value
+    assert a > 10.0  # appA contended
+    assert b < 1.0   # appB healthy

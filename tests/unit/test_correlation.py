@@ -1,0 +1,102 @@
+"""Unit tests for Pearson correlation with missing-as-zero alignment."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.correlation import (
+    MissingPolicy,
+    aligned_pearson,
+    pearson,
+    rolling_pearson,
+)
+from repro.metrics.timeseries import TimeSeries
+
+
+def test_pearson_perfect_correlation():
+    assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+    assert pearson([1, 2, 3], [-1, -2, -3]) == pytest.approx(-1.0)
+
+
+def test_pearson_constant_series_is_zero():
+    assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+    assert pearson([1, 2, 3], [5, 5, 5]) == 0.0
+
+
+def test_pearson_short_series_is_zero():
+    assert pearson([], []) == 0.0
+    assert pearson([1.0], [2.0]) == 0.0
+
+
+def test_pearson_length_mismatch_raises():
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1, 2, 3])
+
+
+def test_pearson_clamped_to_unit_interval():
+    rng = np.random.default_rng(0)
+    for _ in range(50):
+        x = rng.normal(size=10)
+        y = rng.normal(size=10)
+        assert -1.0 <= pearson(x, y) <= 1.0
+
+
+def _series(pairs, name=""):
+    ts = TimeSeries(name=name)
+    for t, v in pairs:
+        ts.append(t, v)
+    return ts
+
+
+def test_aligned_pearson_full_overlap():
+    victim = _series([(0, 1.0), (5, 2.0), (10, 3.0), (15, 4.0)])
+    suspect = _series([(0, 2.0), (5, 4.0), (10, 6.0), (15, 8.0)])
+    assert aligned_pearson(victim, suspect, window=4) == pytest.approx(1.0)
+
+
+def test_aligned_pearson_missing_as_zero_vs_omit():
+    # Victim rises while suspect has samples only when victim is high —
+    # under OMIT the two remaining points correlate spuriously; under
+    # ZERO the idle gaps count as zero activity.
+    victim = _series([(0, 0.1), (5, 0.2), (10, 5.0), (15, 6.0)])
+    suspect = _series([(10, 100.0), (15, 120.0)])
+    r_zero = aligned_pearson(victim, suspect, window=4, policy=MissingPolicy.ZERO)
+    r_omit = aligned_pearson(victim, suspect, window=4, policy=MissingPolicy.OMIT)
+    assert r_zero > 0.8  # activity aligns with contention: strong evidence
+    assert r_omit == pytest.approx(1.0)  # degenerate two-point correlation
+    # The designed difference: ZERO uses all four instants.
+    suspect_flat = _series([(10, 100.0), (15, 100.0)])
+    assert (
+        aligned_pearson(victim, suspect_flat, window=4, policy=MissingPolicy.OMIT)
+        == 0.0
+    )
+    assert (
+        aligned_pearson(victim, suspect_flat, window=4, policy=MissingPolicy.ZERO)
+        > 0.8
+    )
+
+
+def test_aligned_pearson_insufficient_data():
+    victim = _series([(0, 1.0)])
+    suspect = _series([(0, 1.0)])
+    assert aligned_pearson(victim, suspect, window=5) == 0.0
+
+
+def test_aligned_pearson_window_limits_history():
+    victim = _series([(t, float(t)) for t in range(0, 100, 5)])
+    # Suspect anti-correlates early, correlates across the last 4 samples.
+    pairs = [(t, -float(t)) for t in range(0, 80, 5)]
+    pairs += [(t, float(t)) for t in range(80, 100, 5)]
+    suspect = _series(pairs)
+    assert aligned_pearson(victim, suspect, window=4) == pytest.approx(1.0)
+
+
+def test_rolling_pearson():
+    x = [1, 2, 3, 4, 5]
+    y = [2, 4, 6, 8, 10]
+    out = rolling_pearson(x, y, window=3)
+    assert np.isnan(out[0]) and np.isnan(out[1])
+    assert out[2:].tolist() == pytest.approx([1.0, 1.0, 1.0])
+    with pytest.raises(ValueError):
+        rolling_pearson(x, y, window=1)
+    with pytest.raises(ValueError):
+        rolling_pearson(x, y[:-1], window=3)

@@ -1,0 +1,112 @@
+"""Unit tests for the CPU water-filling allocator."""
+
+import pytest
+
+from repro.hardware.cpu import allocate_cpu
+
+
+def test_underload_everyone_satisfied():
+    grants = allocate_cpu(
+        demands={"a": 2.0, "b": 3.0},
+        weights={"a": 2, "b": 2},
+        caps={"a": None, "b": None},
+        capacity=48.0,
+    )
+    assert grants == {"a": 2.0, "b": 3.0}
+
+
+def test_hard_cap_binds_even_with_idle_capacity():
+    grants = allocate_cpu(
+        demands={"a": 8.0},
+        weights={"a": 8},
+        caps={"a": 2.0},
+        capacity=48.0,
+    )
+    assert grants["a"] == 2.0
+
+
+def test_overload_fair_by_weight():
+    grants = allocate_cpu(
+        demands={"a": 10.0, "b": 10.0},
+        weights={"a": 1, "b": 3},
+        caps={"a": None, "b": None},
+        capacity=8.0,
+    )
+    assert grants["a"] == pytest.approx(2.0)
+    assert grants["b"] == pytest.approx(6.0)
+    assert sum(grants.values()) == pytest.approx(8.0)
+
+
+def test_work_conserving_spillover():
+    # "a" only wants 1 core; its unused share spills to "b".
+    grants = allocate_cpu(
+        demands={"a": 1.0, "b": 100.0},
+        weights={"a": 1, "b": 1},
+        caps={"a": None, "b": None},
+        capacity=10.0,
+    )
+    assert grants["a"] == pytest.approx(1.0)
+    assert grants["b"] == pytest.approx(9.0)
+
+
+def test_total_never_exceeds_capacity():
+    grants = allocate_cpu(
+        demands={f"v{i}": 5.0 for i in range(10)},
+        weights={f"v{i}": 2 for i in range(10)},
+        caps={f"v{i}": None for i in range(10)},
+        capacity=12.0,
+    )
+    assert sum(grants.values()) <= 12.0 + 1e-9
+    for g in grants.values():
+        assert g == pytest.approx(1.2)
+
+
+def test_caps_shape_contention():
+    # Capped VM frees capacity for the others under overload.
+    grants = allocate_cpu(
+        demands={"a": 10.0, "b": 10.0},
+        weights={"a": 1, "b": 1},
+        caps={"a": 1.0, "b": None},
+        capacity=8.0,
+    )
+    assert grants["a"] == pytest.approx(1.0)
+    assert grants["b"] == pytest.approx(7.0)
+
+
+def test_zero_capacity():
+    grants = allocate_cpu(
+        demands={"a": 1.0}, weights={"a": 1}, caps={"a": None}, capacity=0.0
+    )
+    assert grants["a"] == 0.0
+
+
+def test_negative_demand_rejected():
+    with pytest.raises(ValueError):
+        allocate_cpu({"a": -1.0}, {"a": 1}, {"a": None}, 4.0)
+
+
+def test_negative_capacity_rejected():
+    with pytest.raises(ValueError):
+        allocate_cpu({"a": 1.0}, {"a": 1}, {"a": None}, -4.0)
+
+
+def test_missing_weight_defaults_to_one():
+    grants = allocate_cpu(
+        demands={"a": 10.0, "b": 10.0},
+        weights={},
+        caps={},
+        capacity=4.0,
+    )
+    assert grants["a"] == pytest.approx(2.0)
+    assert grants["b"] == pytest.approx(2.0)
+
+
+def test_grant_never_exceeds_demand():
+    grants = allocate_cpu(
+        demands={"a": 0.5, "b": 20.0},
+        weights={"a": 8, "b": 1},
+        caps={"a": None, "b": None},
+        capacity=16.0,
+    )
+    assert grants["a"] == pytest.approx(0.5)
+    assert grants["b"] <= 20.0

@@ -1,0 +1,131 @@
+"""Unit tests for the CUBIC cap controller (paper Eq. 1)."""
+
+import pytest
+
+from repro.core.config import PerfCloudConfig
+from repro.core.cubic import RELEASE_LEVEL, CapState, CubicController
+
+
+@pytest.fixture
+def controller():
+    return CubicController(PerfCloudConfig())
+
+
+def test_start_initializes_to_observed_usage(controller):
+    state = controller.start(6.0e6)
+    assert state.base == 6.0e6
+    assert state.cap == 1.0
+    assert state.absolute_cap == pytest.approx(6.0e6)
+
+
+def test_multiplicative_decrease(controller):
+    state = controller.start(100.0)
+    controller.update(state, contention=True)
+    assert state.cap == pytest.approx(0.2)  # (1 - beta) with beta = 0.8
+    assert state.c_max == 1.0
+    assert state.t == 0
+
+
+def test_repeated_decrease_hits_floor(controller):
+    state = controller.start(100.0)
+    for _ in range(5):
+        controller.update(state, contention=True)
+    assert state.cap == pytest.approx(PerfCloudConfig().cap_floor_frac)
+
+
+def test_cubic_growth_starts_at_decrease_level(controller):
+    """By construction the cubic at T=0 equals (1-beta)*c_max."""
+    cfg = PerfCloudConfig()
+    curve = controller.growth_curve(c_max=1.0, intervals=10)
+    assert curve[0] == pytest.approx((1 - cfg.beta) * 1.0)
+
+
+def test_cubic_growth_monotone_and_reaches_cmax_at_k(controller):
+    curve = controller.growth_curve(c_max=1.0, intervals=12)
+    assert all(b >= a - 1e-12 for a, b in zip(curve, curve[1:]))
+    k = controller.k(1.0)
+    assert curve[int(round(k))] == pytest.approx(1.0, abs=0.02)
+
+
+def test_k_matches_formula(controller):
+    cfg = PerfCloudConfig()
+    assert controller.k(1.0) == pytest.approx(
+        (cfg.beta * 1.0 / cfg.gamma) ** (1 / 3)
+    )
+    # ~5.4 intervals = ~27 s at the 5-second cadence (Fig. 10 timeline).
+    assert 5.0 < controller.k(1.0) < 6.0
+
+
+def test_plateau_region_is_flat(controller):
+    """Growth slows near c_max (the plateau of Fig. 7)."""
+    curve = controller.growth_curve(c_max=1.0, intervals=12)
+    k = int(round(controller.k(1.0)))
+    early_slope = curve[1] - curve[0]
+    plateau_slope = curve[k] - curve[k - 1]
+    late_slope = curve[-1] - curve[-2]
+    assert plateau_slope < early_slope
+    assert plateau_slope < late_slope  # probing accelerates again
+
+
+def test_release_and_reengage(controller):
+    state = controller.start(100.0)
+    controller.update(state, contention=True)
+    for _ in range(40):
+        controller.update(state, contention=False)
+        if state.released:
+            break
+    assert state.released
+    assert state.absolute_cap is None
+    # Contention re-engages from the released level.
+    controller.update(state, contention=True)
+    assert not state.released
+    assert state.cap == pytest.approx((1 - 0.8) * RELEASE_LEVEL)
+
+
+def test_released_state_stays_released_without_contention(controller):
+    state = controller.start(10.0)
+    state.released = True
+    controller.update(state, contention=False)
+    assert state.released
+
+
+def test_growth_curve_validation(controller):
+    with pytest.raises(ValueError):
+        controller.growth_curve(1.0, -1)
+
+
+def test_full_episode_trajectory(controller):
+    """Decrease -> growth -> plateau -> probe -> release (Fig. 10 shape)."""
+    state = controller.start(1000.0)
+    controller.update(state, contention=True)
+    caps = [state.cap]
+    for _ in range(30):
+        controller.update(state, contention=False)
+        caps.append(state.cap)
+        if state.released:
+            break
+    assert caps[0] == pytest.approx(0.2)
+    assert state.released
+    # The cap crossed 1.0 (recovered) before releasing at RELEASE_LEVEL.
+    assert any(abs(c - 1.0) < 0.05 for c in caps)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PerfCloudConfig(beta=1.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(gamma=0.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(interval_s=0.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(corr_threshold=1.5)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(h_io=-1.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(ewma_alpha=0.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(cap_floor_frac=1.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(corr_window=1)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(antagonist_ttl_s=0.0)

@@ -1,0 +1,150 @@
+"""Unit tests for the block-device contention model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.disk import BlockDevice, DiskRequest
+from repro.hardware.specs import DiskSpec
+
+
+def make_device(seed=0, **kw):
+    spec = DiskSpec(**kw)
+    return BlockDevice(spec, np.random.default_rng(seed))
+
+
+def test_underload_served_fully():
+    dev = make_device()
+    grants = dev.allocate(
+        {"a": DiskRequest(read_iops=100.0, read_bytes_ps=10e6)}, dt=1.0
+    )
+    g = grants["a"]
+    assert g.read_ops == pytest.approx(100.0)
+    assert g.read_bytes == pytest.approx(10e6)
+    assert dev.utilization < 1.0
+
+
+def test_overload_scales_roughly_proportionally():
+    dev = make_device(max_iops=1000.0)
+    a_tot = b_tot = 0.0
+    n = 60
+    for _ in range(n):
+        grants = dev.allocate(
+            {
+                "a": DiskRequest(read_iops=1500.0, read_bytes_ps=6e6),
+                "b": DiskRequest(read_iops=500.0, read_bytes_ps=2e6),
+            },
+            dt=1.0,
+        )
+        assert dev.utilization == pytest.approx(2.0)
+        total = grants["a"].read_ops + grants["b"].read_ops
+        # Conservation: never above capacity (share noise may leave slack).
+        assert total <= 1000.0 + 1e-6
+        assert grants["a"].read_ops <= 1500.0
+        assert grants["b"].read_ops <= 500.0
+        a_tot += grants["a"].read_ops
+        b_tot += grants["b"].read_ops
+    # 3:1 demand ratio holds on average despite per-epoch share noise.
+    assert a_tot / b_tot == pytest.approx(3.0, rel=0.25)
+
+
+def test_iops_cap_binds():
+    dev = make_device()
+    grants = dev.allocate(
+        {"a": DiskRequest(read_iops=1000.0, read_bytes_ps=4e6, iops_cap=100.0)},
+        dt=1.0,
+    )
+    assert grants["a"].read_ops == pytest.approx(100.0)
+    # Bytes squeezed by the same fraction (ops carry bytes).
+    assert grants["a"].read_bytes == pytest.approx(0.4e6)
+
+
+def test_bps_cap_binds_and_squeezes_ops():
+    dev = make_device()
+    grants = dev.allocate(
+        {"a": DiskRequest(read_iops=1000.0, read_bytes_ps=10e6, bps_cap=1e6)},
+        dt=1.0,
+    )
+    assert grants["a"].read_bytes == pytest.approx(1e6)
+    assert grants["a"].read_ops == pytest.approx(100.0)
+
+
+def test_wait_grows_with_utilization():
+    waits = []
+    for demand in (100.0, 1000.0, 4000.0):
+        dev = make_device(seed=1)
+        samples = []
+        for _ in range(50):
+            g = dev.allocate({"a": DiskRequest(read_iops=demand)}, dt=1.0)
+            samples.append(g["a"].wait_ms_per_op)
+        waits.append(np.mean(samples))
+    assert waits[0] < waits[1] < waits[2]
+
+
+def test_idle_vm_gets_no_wait():
+    dev = make_device()
+    g = dev.allocate({"a": DiskRequest()}, dt=1.0)
+    assert g["a"].wait_ms_per_op == 0.0
+    assert g["a"].total_ops == 0.0
+
+
+def test_read_write_split_proportional():
+    dev = make_device()
+    g = dev.allocate(
+        {"a": DiskRequest(read_iops=300.0, write_iops=100.0,
+                          read_bytes_ps=3e6, write_bytes_ps=1e6)},
+        dt=1.0,
+    )["a"]
+    assert g.read_ops == pytest.approx(300.0)
+    assert g.write_ops == pytest.approx(100.0)
+    assert g.read_bytes == pytest.approx(3e6)
+    assert g.write_bytes == pytest.approx(1e6)
+
+
+def test_dt_scales_amounts():
+    dev = make_device()
+    g = dev.allocate({"a": DiskRequest(read_iops=100.0)}, dt=0.5)["a"]
+    assert g.read_ops == pytest.approx(50.0)
+
+
+def test_invalid_dt():
+    dev = make_device()
+    with pytest.raises(ValueError):
+        dev.allocate({}, dt=0.0)
+
+
+def test_lifetime_counters_accumulate():
+    dev = make_device()
+    for _ in range(3):
+        dev.allocate({"a": DiskRequest(read_iops=100.0, read_bytes_ps=1e6)}, dt=1.0)
+    assert dev.total_ops_served == pytest.approx(300.0)
+    assert dev.total_bytes_served == pytest.approx(3e6)
+
+
+def test_cross_vm_wait_dispersion_grows_with_load():
+    """The detection signal: wait spread across VMs rises with congestion."""
+
+    def spread(demand_per_vm):
+        dev = make_device(seed=3)
+        stds = []
+        for _ in range(80):
+            grants = dev.allocate(
+                {f"v{i}": DiskRequest(read_iops=demand_per_vm) for i in range(6)},
+                dt=1.0,
+            )
+            waits = [g.wait_ms_per_op for g in grants.values()]
+            stds.append(np.std(waits))
+        return np.mean(stds)
+
+    assert spread(50.0) < spread(700.0)
+
+
+def test_determinism_given_seed():
+    def run():
+        dev = make_device(seed=11)
+        out = []
+        for _ in range(10):
+            g = dev.allocate({"a": DiskRequest(read_iops=2000.0)}, dt=1.0)
+            out.append(g["a"].wait_ms_per_op)
+        return out
+
+    assert run() == run()

@@ -1,0 +1,104 @@
+"""Unit tests for figure-result containers and light runners."""
+
+import pytest
+
+from repro.core.config import PerfCloudConfig
+from repro.experiments import figures
+
+
+# ------------------------------------------------------------------ Fig7 (analytic)
+
+def test_fig7_runner_matches_eq1():
+    r = figures.fig7(c_max=1.0, intervals=10)
+    cfg = PerfCloudConfig()
+    assert r.beta == cfg.beta and r.gamma == cfg.gamma
+    assert r.caps[0] == pytest.approx((1 - cfg.beta))
+    assert len(r.caps) == 11
+    # Region classification is ordered growth -> plateau -> probing.
+    regions = [r.region(t) for t in r.intervals]
+    assert regions[0] == "growth"
+    assert regions[-1] == "probing"
+    order = {"growth": 0, "plateau": 1, "probing": 2}
+    assert all(order[a] <= order[b] for a, b in zip(regions, regions[1:]))
+
+
+def test_fig7_custom_config():
+    cfg = PerfCloudConfig(beta=0.5, gamma=0.01)
+    r = figures.fig7(config=cfg)
+    assert r.caps[0] == pytest.approx(0.5)
+    assert r.k == pytest.approx((0.5 / 0.01) ** (1 / 3))
+
+
+# --------------------------------------------------------- result containers
+
+def test_fig11_breakdown_buckets():
+    r = figures.Fig11Result(
+        mr_degradation={"x": [0.05, 0.15, 0.35, 0.8]},
+        spark_degradation={"x": []},
+        efficiency={"x": 1.0},
+    )
+    b = r.breakdown("mapreduce", "x")
+    assert b["<10%"] == pytest.approx(0.25)
+    assert b["10-30%"] == pytest.approx(0.25)
+    assert b["30-50%"] == pytest.approx(0.25)
+    assert b[">50%"] == pytest.approx(0.25)
+    empty = r.breakdown("spark", "x")
+    assert all(v == 0.0 for v in empty.values())
+
+
+def test_deviation_signal_result_properties():
+    r = figures.DeviationSignalResult(
+        metric="io", threshold=10.0,
+        alone_series=[(0, 1.0), (5, 2.0)],
+        coloc_series=[(0, 30.0), (5, 80.0)],
+        alone_peak=2.0, coloc_peak=80.0,
+    )
+    assert r.peak_ratio == pytest.approx(40.0)
+    assert r.alone_below_threshold
+    assert r.coloc_exceeds_threshold
+    zero = figures.DeviationSignalResult(
+        metric="io", threshold=10.0, alone_series=[], coloc_series=[],
+        alone_peak=0.0, coloc_peak=5.0,
+    )
+    assert zero.peak_ratio == float("inf")
+
+
+def test_fig2_result_property():
+    r = figures.Fig2Result(
+        mr_normalized_jct={"a": 1.3}, spark_normalized_jct={"b": 1.9}
+    )
+    assert r.spark_hit_harder
+    r2 = figures.Fig2Result(
+        mr_normalized_jct={"a": 2.3}, spark_normalized_jct={"b": 1.9}
+    )
+    assert not r2.spark_hit_harder
+
+
+# ----------------------------------------------------------- light end-to-end
+
+def test_run_job_helper_completes():
+    testbed, job = figures._run_job(
+        "mapreduce", "grep", seed=3, size_mb=128.0
+    )
+    assert job.completion_time is not None
+    assert testbed.jobtracker is not None
+
+
+def test_run_job_applies_fio_cap():
+    testbed, _ = figures._run_job(
+        "mapreduce", "grep", seed=3, size_mb=128.0,
+        antagonists=(("fio", None),), fio_cap_frac=0.2,
+    )
+    vm = testbed.antagonist_vms["fio"]
+    assert vm.cgroup.throttle.bps_cap == pytest.approx(
+        0.2 * figures.FIO_FULL_BPS
+    )
+    fio = testbed.antagonist_drivers["fio"]
+    # The cap bound fio to ~20% of its solo throughput.
+    assert fio.achieved_iops() < 1500 * 0.25
+
+
+def test_submit_rejects_unknown_benchmark():
+    testbed, _ = figures._run_job("mapreduce", "grep", seed=3, size_mb=64.0)
+    with pytest.raises(KeyError):
+        figures._submit(testbed, "mapreduce", "nope", 64.0)

@@ -1,0 +1,101 @@
+"""Edge-case tests for the framework layer."""
+
+import pytest
+
+from repro.frameworks.hdfs import HdfsCluster
+from repro.frameworks.mapreduce.jobtracker import JobTracker
+from repro.frameworks.spark.driver import SparkScheduler
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+from repro.workloads.datagen import sparkbench_synthetic, teragen, wikipedia
+from repro.workloads.puma import grep, terasort
+from repro.workloads.sparkbench import logistic_regression
+
+
+def make_world(n_workers=3, seed=4):
+    sim = Simulator(dt=1.0, seed=seed)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    workers = [
+        cluster.boot_vm(f"w{i}", "h0", priority=Priority.HIGH, app_id="a")
+        for i in range(n_workers)
+    ]
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    return sim, workers, hdfs
+
+
+def test_single_block_job():
+    sim, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(32), num_reducers=1)
+    sim.run(2000)
+    assert job.completion_time is not None
+    assert len(job.maps) == 1 and len(job.reduces) == 1
+
+
+def test_zero_shuffle_benchmark_reduces_have_no_net():
+    sim, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    spec = grep()  # shuffle_ratio 0.01, nearly nothing
+    job = jt.submit(spec, wikipedia(128), num_reducers=2)
+    sim.run(2000)
+    assert job.completion_time is not None
+    for t in job.reduces:
+        assert t.work.net_total <= 0.01 * 128 * 1024 * 1024 + 1
+
+
+def test_single_partition_spark_app():
+    sim, workers, hdfs = make_world()
+    ss = SparkScheduler(sim, workers, hdfs)
+    app = ss.submit(logistic_regression(), sparkbench_synthetic("one", 48))
+    sim.run(2000)
+    assert app.completion_time is not None
+    assert app.num_partitions == 1
+
+
+def test_two_jobs_share_hdfs_file():
+    sim, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    j1 = jt.submit(terasort(), teragen(128), 2)
+    j2 = jt.submit(terasort(), teragen(128), 2)  # same dataset name
+    sim.run(3000)
+    assert j1.completion_time is not None and j2.completion_time is not None
+    # One physical file: block ids are shared.
+    ids1 = {t.id.split("/")[-1] for t in j1.maps}
+    ids2 = {t.id.split("/")[-1] for t in j2.maps}
+    assert ids1 == ids2
+
+
+def test_more_reducers_than_slots_runs_in_waves():
+    sim, workers, hdfs = make_world(n_workers=2)  # 4 slots
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(128), num_reducers=9)
+    sim.run(4000)
+    assert job.completion_time is not None
+    starts = sorted(a.start_time for t in job.reduces for a in t.attempts)
+    assert starts[-1] > starts[0]  # at least two waves
+
+
+def test_mapreduce_and_spark_coexist_on_composite_vms():
+    sim = Simulator(dt=1.0, seed=4)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    workers = [
+        cluster.boot_vm(f"w{i}", "h0", priority=Priority.HIGH, app_id="a")
+        for i in range(4)
+    ]
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    jt = JobTracker(sim, workers, hdfs)
+    ss = SparkScheduler(sim, workers, hdfs, name="spark")
+    from repro.frameworks.executor import CompositeDriver
+
+    for w in workers:
+        w.attach_workload(
+            CompositeDriver([jt.executors[w.name], ss.executors[w.name]])
+        )
+    mr_job = jt.submit(terasort(), teragen(192), 3)
+    sp_app = ss.submit(logistic_regression(), sparkbench_synthetic("x", 192))
+    sim.run(4000)
+    assert mr_job.completion_time is not None
+    assert sp_app.completion_time is not None

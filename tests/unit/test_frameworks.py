@@ -1,0 +1,213 @@
+"""Unit tests for the MapReduce JobTracker, Spark scheduler and Dolly."""
+
+import pytest
+
+from repro.frameworks.cloning import DollyCloner
+from repro.frameworks.hdfs import HdfsCluster
+from repro.frameworks.mapreduce.jobtracker import JobTracker
+from repro.frameworks.spark.driver import SparkScheduler
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+from repro.workloads.datagen import sparkbench_synthetic, teragen
+from repro.workloads.puma import terasort, wordcount
+from repro.workloads.sparkbench import logistic_regression
+
+
+def make_world(n_workers=4, seed=5):
+    sim = Simulator(dt=1.0, seed=seed)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    workers = [
+        cluster.boot_vm(f"w{i}", "h0", priority=Priority.HIGH, app_id="app")
+        for i in range(n_workers)
+    ]
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    return sim, cluster, workers, hdfs
+
+
+# ------------------------------------------------------------------ MapReduce
+
+def test_mapreduce_job_completes():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(256), num_reducers=4)
+    sim.run(2000)
+    assert job.completion_time is not None
+    assert all(t.completed for t in job.maps)
+    assert all(t.completed for t in job.reduces)
+    assert jt.ledger.efficiency == 1.0  # no speculation, nothing killed
+
+
+def test_mapreduce_phases_ordered():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(256), num_reducers=2)
+    sim.run(2000)
+    last_map_end = max(t.finish_time for t in job.maps)
+    first_reduce_start = min(a.start_time for t in job.reduces for a in t.attempts)
+    assert first_reduce_start >= last_map_end
+
+
+def test_mapreduce_map_only_job():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(wordcount(), teragen(128), num_reducers=0)
+    sim.run(2000)
+    assert job.completion_time is not None
+    assert job.reduces == []
+
+
+def test_mapreduce_locality_preferred():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(256), num_reducers=1)
+    sim.run(2000)
+    local = sum(
+        1 for t in job.maps
+        if t.attempts[0].vm_name in t.preferred_vms
+    )
+    # With 3x replication on 4 nodes, nearly everything can run local.
+    assert local >= len(job.maps) - 1
+
+
+def test_mapreduce_reduce_shuffle_sources_are_map_outputs():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(256), num_reducers=2)
+    sim.run(2000)
+    map_vms = {t.output_vm for t in job.maps}
+    for t in job.reduces:
+        assert set(t.work.net_in) <= map_vms
+        assert t.work.net_total > 0
+
+
+def test_mapreduce_fifo_across_jobs():
+    sim, _, workers, hdfs = make_world(n_workers=2)
+    jt = JobTracker(sim, workers, hdfs)
+    j1 = jt.submit(terasort(), teragen(256), num_reducers=2)
+    j2 = jt.submit(terasort(), teragen(256, ), num_reducers=2)
+    sim.run(4000)
+    assert j1.completion_time is not None and j2.completion_time is not None
+    assert j1.finish_time <= j2.finish_time
+
+
+def test_mapreduce_invalid_reducers():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    with pytest.raises(ValueError):
+        jt.submit(terasort(), teragen(64), num_reducers=-1)
+
+
+# ---------------------------------------------------------------------- Spark
+
+def test_spark_app_completes_all_stages():
+    sim, _, workers, hdfs = make_world()
+    ss = SparkScheduler(sim, workers, hdfs)
+    app = ss.submit(logistic_regression(), sparkbench_synthetic("lr", 256))
+    sim.run(4000)
+    assert app.completion_time is not None
+    assert app.current_stage == app.total_stages - 1
+    for stage in range(app.total_stages):
+        assert app.stage_done(stage)
+
+
+def test_spark_stage_barrier():
+    sim, _, workers, hdfs = make_world()
+    ss = SparkScheduler(sim, workers, hdfs)
+    app = ss.submit(logistic_regression(), sparkbench_synthetic("lr", 256))
+    sim.run(4000)
+    for stage in range(1, app.total_stages):
+        prev_end = max(t.finish_time for t in app.stage_tasks(stage - 1))
+        starts = [a.start_time for t in app.stage_tasks(stage) for a in t.attempts]
+        assert min(starts) >= prev_end
+
+
+def test_spark_cache_locality():
+    sim, _, workers, hdfs = make_world()
+    ss = SparkScheduler(sim, workers, hdfs)
+    app = ss.submit(logistic_regression(), sparkbench_synthetic("lr", 256))
+    sim.run(4000)
+    hits = 0
+    total = 0
+    for stage in range(1, app.total_stages):
+        for t in app.stage_tasks(stage):
+            total += 1
+            if t.attempts[0].vm_name == app.cache_vm.get(t.partition):
+                hits += 1
+    assert hits / total > 0.5
+
+
+def test_spark_partitions_match_blocks():
+    sim, _, workers, hdfs = make_world()
+    ss = SparkScheduler(sim, workers, hdfs)
+    app = ss.submit(logistic_regression(), sparkbench_synthetic("lr", 320))
+    assert app.num_partitions == 5
+    assert len(app.stage_tasks(0)) == 5
+
+
+# ---------------------------------------------------------------------- Dolly
+
+def test_dolly_first_clone_wins_and_rest_killed():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    cloner = DollyCloner(jt, num_clones=3)
+    logical = cloner.submit(
+        lambda tag: jt.submit(terasort(), teragen(128), 2, clone_of=tag)
+    )
+    sim.run(4000)
+    assert logical.done
+    assert logical.winner is not None
+    killed = [c for c in logical.clones if c is not logical.winner]
+    assert all(c.state.value in ("killed", "succeeded") for c in killed)
+    assert logical.completion_time is not None
+    assert cloner.all_done()
+
+
+def test_dolly_burns_efficiency():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    cloner = DollyCloner(jt, num_clones=3)
+    cloner.submit(lambda tag: jt.submit(terasort(), teragen(128), 2, clone_of=tag))
+    sim.run(4000)
+    assert jt.ledger.efficiency < 1.0
+    assert jt.ledger.killed_task_seconds > 0
+
+
+def test_dolly_single_clone_is_plain_submission():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    cloner = DollyCloner(jt, num_clones=1)
+    logical = cloner.submit(
+        lambda tag: jt.submit(terasort(), teragen(128), 2, clone_of=tag)
+    )
+    sim.run(4000)
+    assert logical.done
+    assert jt.ledger.efficiency == 1.0
+
+
+def test_dolly_factory_must_tag_clones():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    cloner = DollyCloner(jt, num_clones=2)
+    with pytest.raises(ValueError):
+        cloner.submit(lambda tag: jt.submit(terasort(), teragen(128), 2))
+
+
+def test_dolly_invalid_clone_count():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    with pytest.raises(ValueError):
+        DollyCloner(jt, num_clones=0)
+
+
+def test_reduce_placement_prefers_map_output_holders():
+    sim, _, workers, hdfs = make_world()
+    jt = JobTracker(sim, workers, hdfs)
+    job = jt.submit(terasort(), teragen(256), num_reducers=2)
+    sim.run(2000)
+    assert job.completion_time is not None
+    for t in job.reduces:
+        assert t.preferred_vms  # shuffle-aware hints were set
+        best = max(t.work.net_in.items(), key=lambda kv: kv[1])[0]
+        assert best in t.preferred_vms

@@ -1,0 +1,88 @@
+"""Unit tests for the HDFS block-placement model."""
+
+import numpy as np
+import pytest
+
+from repro.frameworks.hdfs import HdfsBlock, HdfsCluster
+from repro.workloads.datagen import Dataset, teragen
+
+
+def make(n_nodes=6, replication=3, seed=0):
+    return HdfsCluster(
+        [f"dn{i}" for i in range(n_nodes)],
+        np.random.default_rng(seed),
+        replication=replication,
+    )
+
+
+def test_file_block_count_matches_dataset():
+    hdfs = make()
+    f = hdfs.create_file(teragen(640))
+    assert len(f.blocks) == 10
+    assert f.size_mb == pytest.approx(640.0)
+
+
+def test_partial_last_block():
+    hdfs = make()
+    f = hdfs.create_file(teragen(100))  # 64 + 36
+    assert len(f.blocks) == 2
+    assert f.blocks[-1].size_mb == pytest.approx(36.0)
+
+
+def test_replicas_distinct_and_counted():
+    hdfs = make(replication=3)
+    f = hdfs.create_file(teragen(640))
+    for b in f.blocks:
+        assert len(b.replicas) == 3
+        assert len(set(b.replicas)) == 3
+
+
+def test_replication_capped_by_cluster_size():
+    hdfs = make(n_nodes=2, replication=3)
+    f = hdfs.create_file(teragen(64))
+    assert len(f.blocks[0].replicas) == 2
+
+
+def test_first_replicas_round_robin():
+    hdfs = make(n_nodes=4)
+    f = hdfs.create_file(teragen(64 * 8))
+    firsts = [b.replicas[0] for b in f.blocks]
+    assert firsts == ["dn0", "dn1", "dn2", "dn3"] * 2
+
+
+def test_create_idempotent():
+    hdfs = make()
+    f1 = hdfs.create_file(teragen(640))
+    f2 = hdfs.create_file(teragen(640))
+    assert f1 is f2
+
+
+def test_get_file_and_has_file():
+    hdfs = make()
+    hdfs.create_file(teragen(64))
+    assert hdfs.has_file("teragen-64mb")
+    assert hdfs.get_file("teragen-64mb").size_mb == pytest.approx(64.0)
+    with pytest.raises(KeyError):
+        hdfs.get_file("ghost")
+
+
+def test_blocks_on_datanode():
+    hdfs = make(n_nodes=3, replication=1)
+    hdfs.create_file(teragen(64 * 3))
+    for dn in ("dn0", "dn1", "dn2"):
+        assert len(hdfs.blocks_on(dn)) == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        HdfsCluster([], np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        HdfsCluster(["a"], np.random.default_rng(0), replication=0)
+    with pytest.raises(ValueError):
+        HdfsBlock("b", size_mb=0.0, replicas=("a",))
+    with pytest.raises(ValueError):
+        HdfsBlock("b", size_mb=1.0, replicas=())
+    with pytest.raises(ValueError):
+        HdfsBlock("b", size_mb=1.0, replicas=("a", "a"))
+    with pytest.raises(ValueError):
+        Dataset("d", size_mb=0.0)

@@ -1,0 +1,104 @@
+"""Unit tests for persistent bias and hardware spec validation."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.jitter import PersistentBias
+from repro.hardware.specs import DiskSpec, HostSpec, MemSpec, NicSpec, R630
+
+
+# ------------------------------------------------------------- PersistentBias
+
+def test_bias_persists_within_epoch():
+    b = PersistentBias(np.random.default_rng(0), mean_epoch_steps=1000.0)
+    v1 = b.value("vm", 0.5)
+    v2 = b.value("vm", 0.5)
+    assert v1 == v2
+
+
+def test_bias_redraws_across_epochs():
+    b = PersistentBias(np.random.default_rng(0), mean_epoch_steps=1.0)
+    vals = {round(b.value("vm", 0.5), 9) for _ in range(50)}
+    assert len(vals) > 5
+
+
+def test_bias_scales_with_sigma_continuously():
+    b = PersistentBias(np.random.default_rng(3), mean_epoch_steps=1000.0)
+    v_small = b.value("vm", 0.1)
+    v_large = b.value("vm", 1.0)
+    # Same underlying z: the deviation from 1 grows with sigma.
+    assert abs(np.log(v_large)) > abs(np.log(v_small))
+
+
+def test_bias_zero_sigma_is_one():
+    b = PersistentBias(np.random.default_rng(0))
+    assert b.value("vm", 0.0) == 1.0
+
+
+def test_bias_mean_one_two_sided():
+    b = PersistentBias(np.random.default_rng(1), mean_epoch_steps=1.0)
+    vals = [b.value("vm", 0.4) for _ in range(4000)]
+    assert np.mean(vals) == pytest.approx(1.0, rel=0.05)
+
+
+def test_bias_folded_at_least_one():
+    b = PersistentBias(np.random.default_rng(2), mean_epoch_steps=1.0, folded=True)
+    vals = [b.value("vm", 0.6) for _ in range(500)]
+    assert min(vals) >= 1.0
+    assert max(vals) > 1.1
+
+
+def test_bias_per_key_independent():
+    b = PersistentBias(np.random.default_rng(0), mean_epoch_steps=1000.0)
+    assert b.value("a", 0.5) != b.value("b", 0.5)
+
+
+def test_bias_forget():
+    b = PersistentBias(np.random.default_rng(0), mean_epoch_steps=1000.0)
+    v1 = b.value("vm", 0.5)
+    b.forget("vm")
+    v2 = b.value("vm", 0.5)
+    assert v1 != v2  # overwhelmingly likely with a fresh draw
+
+
+def test_bias_negative_sigma_rejected():
+    b = PersistentBias(np.random.default_rng(0))
+    with pytest.raises(ValueError):
+        b.value("vm", -0.1)
+
+
+def test_bias_invalid_epoch():
+    with pytest.raises(ValueError):
+        PersistentBias(np.random.default_rng(0), mean_epoch_steps=0.5)
+
+
+# -------------------------------------------------------------------- specs
+
+def test_r630_defaults_match_paper_testbed():
+    assert R630.cores == 48
+    assert R630.freq_ghz == pytest.approx(2.3)
+    assert R630.mem_gb == pytest.approx(125.0)
+
+
+def test_host_freq_hz_includes_speed_factor():
+    slow = R630.scaled(0.5)
+    assert slow.freq_hz == pytest.approx(R630.freq_hz * 0.5)
+
+
+def test_nic_bytes_per_s():
+    assert NicSpec(bandwidth_gbps=8.0).bytes_per_s == pytest.approx(1e9)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        DiskSpec(max_iops=0)
+    with pytest.raises(ValueError):
+        DiskSpec(base_service_ms=-1)
+    with pytest.raises(ValueError):
+        MemSpec(llc_mb=0)
+    with pytest.raises(ValueError):
+        NicSpec(bandwidth_gbps=0)
+    with pytest.raises(ValueError):
+        HostSpec(cores=0)
+    with pytest.raises(ValueError):
+        HostSpec(speed_factor=0)

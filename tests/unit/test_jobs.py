@@ -1,0 +1,178 @@
+"""Unit tests for the job/task/attempt lifecycle and utilization ledger."""
+
+import pytest
+
+from repro.frameworks.jobs import (
+    Job,
+    JobState,
+    Task,
+    TaskState,
+    TaskWork,
+    UtilizationLedger,
+)
+
+
+def make_task(cpu=4.0, read=1e6, task_id="t0", kind="map"):
+    job = Job("j0", "test", "mapreduce", submit_time=0.0)
+    work = TaskWork(cpu_coresec=cpu, read_bytes=read, read_ops=read / 1e4)
+    task = Task(task_id, job, kind, work)
+    job.add_task(task)
+    return job, task
+
+
+# ------------------------------------------------------------------- TaskWork
+
+def test_taskwork_validation():
+    with pytest.raises(ValueError):
+        TaskWork(cpu_coresec=-1.0)
+    with pytest.raises(ValueError):
+        TaskWork(net_in={"vm": -5.0})
+
+
+def test_taskwork_nominal_duration_max_over_dims():
+    w = TaskWork(cpu_coresec=10.0, read_bytes=100e6, write_bytes=40e6)
+    t = w.nominal_duration(read_rate_bps=10e6, write_rate_bps=10e6)
+    assert t == pytest.approx(10.0)  # read: 10s, write: 4s, cpu: 10s
+    w2 = TaskWork(read_bytes=200e6)
+    assert w2.nominal_duration(10e6, 10e6) == pytest.approx(20.0)
+    assert TaskWork().nominal_duration(1.0, 1.0) == 0.0
+
+
+def test_taskwork_net_total():
+    w = TaskWork(net_in={"a": 10.0, "b": 5.0})
+    assert w.net_total == 15.0
+
+
+# ------------------------------------------------------------------- attempts
+
+def test_attempt_advance_and_completion():
+    _, task = make_task(cpu=2.0, read=1e6)
+    a = task.new_attempt("vm0", now=0.0)
+    assert not a.work_done
+    a.advance(effective_coresec=2.0, now=1.0)
+    assert not a.work_done  # read not drained
+    a.advance(read_bytes=1e6, read_ops=100.0, now=2.0)
+    assert a.work_done
+    assert a.progress == pytest.approx(1.0)
+
+
+def test_attempt_progress_binding_dimension():
+    _, task = make_task(cpu=10.0, read=1e6)
+    a = task.new_attempt("vm0", now=0.0)
+    a.advance(effective_coresec=9.0, read_bytes=1e5, read_ops=10.0, now=1.0)
+    # cpu at 90%, read at 10% -> progress tracks the laggard.
+    assert a.progress == pytest.approx(0.1)
+
+
+def test_attempt_progress_rate_and_estimate():
+    _, task = make_task(cpu=10.0, read=0.0)
+    task.work.read_bytes = 0.0
+    task.work.read_ops = 0.0
+    a = task.new_attempt("vm0", now=0.0)
+    for i in range(1, 6):
+        a.advance(effective_coresec=1.0, now=float(i))
+    assert a.progress == pytest.approx(0.5)
+    assert a.progress_rate() == pytest.approx(0.1, rel=0.05)
+    assert a.estimated_time_left() == pytest.approx(5.0, rel=0.1)
+
+
+def test_attempt_estimate_infinite_without_progress():
+    _, task = make_task()
+    a = task.new_attempt("vm0", now=0.0)
+    assert a.estimated_time_left() == float("inf")
+
+
+def test_task_complete_with_kills_losers():
+    _, task = make_task()
+    a1 = task.new_attempt("vm0", now=0.0)
+    a2 = task.new_attempt("vm1", now=5.0, speculative=True)
+    losers = task.complete_with(a1, now=10.0)
+    assert task.completed
+    assert task.output_vm == "vm0"
+    assert losers == [a2]
+    assert a2.state is TaskState.KILLED
+    assert a1.runtime == 10.0
+    assert a2.runtime == 5.0
+
+
+def test_task_no_attempt_after_completion():
+    _, task = make_task()
+    a = task.new_attempt("vm0", now=0.0)
+    task.complete_with(a, now=1.0)
+    with pytest.raises(RuntimeError):
+        task.new_attempt("vm1", now=2.0)
+
+
+def test_task_kill_all():
+    job, task = make_task()
+    a = task.new_attempt("vm0", now=0.0)
+    killed = task.kill_all(now=3.0)
+    assert killed == [a]
+    assert task.state is TaskState.KILLED
+
+
+def test_attempt_double_finish_rejected():
+    _, task = make_task()
+    a = task.new_attempt("vm0", now=0.0)
+    a.finish(1.0)
+    with pytest.raises(RuntimeError):
+        a.finish(2.0)
+    a.kill(3.0)  # kill on finished attempt is a no-op
+    assert a.state is TaskState.SUCCEEDED
+
+
+# ----------------------------------------------------------------------- jobs
+
+def test_job_lifecycle_and_completion_time():
+    job = Job("j", "terasort", "mapreduce", submit_time=10.0)
+    assert job.state is JobState.PENDING
+    job.mark_running(12.0)
+    assert job.start_time == 12.0
+    job.mark_finished(50.0)
+    assert job.completion_time == 40.0
+
+
+def test_job_mark_killed():
+    job = Job("j", "x", "mapreduce", submit_time=0.0)
+    job.mark_killed(5.0)
+    assert job.state is JobState.KILLED
+    job2 = Job("j2", "x", "mapreduce", submit_time=0.0)
+    job2.mark_running(1.0)
+    job2.mark_finished(2.0)
+    job2.mark_killed(3.0)  # no-op on finished job
+    assert job2.state is JobState.SUCCEEDED
+
+
+# --------------------------------------------------------------------- ledger
+
+def test_ledger_efficiency():
+    ledger = UtilizationLedger()
+    _, task = make_task()
+    winner = task.new_attempt("vm0", now=0.0)
+    loser = task.new_attempt("vm1", now=0.0, speculative=True)
+    task.complete_with(winner, now=8.0)  # loser killed at 8.0 too
+    ledger.record(winner)
+    ledger.record(loser)
+    assert ledger.successful_task_seconds == 8.0
+    assert ledger.killed_task_seconds == 8.0
+    assert ledger.efficiency == pytest.approx(0.5)
+    assert ledger.successful_attempts == 1
+    assert ledger.killed_attempts == 1
+
+
+def test_ledger_perfect_efficiency_without_kills():
+    ledger = UtilizationLedger()
+    assert ledger.efficiency == 1.0
+    _, task = make_task()
+    a = task.new_attempt("vm0", now=0.0)
+    task.complete_with(a, now=4.0)
+    ledger.record(a)
+    assert ledger.efficiency == 1.0
+
+
+def test_ledger_rejects_running_attempt():
+    ledger = UtilizationLedger()
+    _, task = make_task()
+    a = task.new_attempt("vm0", now=0.0)
+    with pytest.raises(ValueError):
+        ledger.record(a)

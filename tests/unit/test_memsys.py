@@ -1,0 +1,150 @@
+"""Unit tests for the LLC/memory-bandwidth contention model."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.memsys import MemorySystem, MemRequest
+from repro.hardware.specs import MemSpec
+
+
+def make(seed=0, **kw):
+    return MemorySystem(MemSpec(**kw), np.random.default_rng(seed))
+
+
+def test_idle_vm_keeps_base_cpi():
+    ms = make()
+    out = ms.evaluate({"a": MemRequest(base_cpi=1.3, active_cores=0.0)}, dt=1.0)
+    assert out["a"].cpi == 1.3
+    assert out["a"].mem_bytes == 0.0
+    assert out["a"].mpki == 0.0
+
+
+def test_solo_fitting_working_set_no_extra_misses():
+    ms = make(llc_mb=30.0)
+    out = ms.evaluate(
+        {"a": MemRequest(llc_ws_mb=10.0, active_cores=2.0, mem_bw_gbps=1.0)},
+        dt=1.0,
+    )
+    assert out["a"].extra_miss_factor == pytest.approx(0.0)
+    assert out["a"].occupancy_mb == pytest.approx(10.0)
+
+
+def test_cache_theft_creates_extra_misses():
+    ms = make(llc_mb=30.0)
+    reqs = {
+        "victim": MemRequest(llc_ws_mb=10.0, active_cores=2.0, mem_bw_gbps=1.0),
+        "hog": MemRequest(llc_ws_mb=5000.0, active_cores=8.0, mem_bw_gbps=10.0),
+    }
+    out = ms.evaluate(reqs, dt=1.0)
+    assert out["victim"].extra_miss_factor > 0.3
+    # The streaming hog misses everywhere regardless: no *extra* misses.
+    assert out["hog"].extra_miss_factor == pytest.approx(0.0, abs=0.05)
+
+
+def test_bandwidth_saturation_stalls():
+    ms = make(bandwidth_gbps=50.0)
+    out = ms.evaluate(
+        {
+            "a": MemRequest(llc_ws_mb=4000.0, active_cores=8.0,
+                            demand_cores=8.0, mem_bw_gbps=60.0),
+            "b": MemRequest(llc_ws_mb=4000.0, active_cores=8.0,
+                            demand_cores=8.0, mem_bw_gbps=60.0),
+        },
+        dt=1.0,
+    )
+    assert ms.bw_utilization > 1.0
+    assert out["a"].bw_stall > 0.0
+    total_gb = (out["a"].mem_bytes + out["b"].mem_bytes) / 1e9
+    assert total_gb <= 50.0 + 1e-6
+
+
+def test_cpu_throttling_scales_bandwidth():
+    """A VM granted fewer cores than it wants drives less DRAM traffic."""
+    ms = make()
+    full = ms.evaluate(
+        {"a": MemRequest(llc_ws_mb=4000.0, active_cores=8.0,
+                         demand_cores=8.0, mem_bw_gbps=40.0)},
+        dt=1.0,
+    )["a"].mem_bytes
+    throttled = ms.evaluate(
+        {"a": MemRequest(llc_ws_mb=4000.0, active_cores=2.0,
+                         demand_cores=8.0, mem_bw_gbps=40.0)},
+        dt=1.0,
+    )["a"].mem_bytes
+    assert throttled == pytest.approx(full / 4.0, rel=0.01)
+
+
+def test_cpi_inflation_under_contention():
+    def mean_cpi(with_hog):
+        ms = make(seed=5)
+        reqs = {
+            "victim": MemRequest(
+                llc_ws_mb=10.0, active_cores=2.0, demand_cores=2.0,
+                mem_bw_gbps=1.5, base_cpi=1.0,
+                llc_sensitivity=1.0, bw_sensitivity=1.0,
+            )
+        }
+        if with_hog:
+            reqs["hog"] = MemRequest(
+                llc_ws_mb=5000.0, active_cores=8.0, demand_cores=8.0,
+                mem_bw_gbps=80.0,
+            )
+        vals = [ms.evaluate(reqs, dt=1.0)["victim"].cpi for _ in range(60)]
+        return np.mean(vals)
+
+    assert mean_cpi(True) > mean_cpi(False) * 1.2
+
+
+def test_cpi_never_below_baseline_under_contention():
+    """Folded skew: contention can only slow a VM down (no lucky speedups)."""
+    ms = make(seed=9)
+    reqs = {
+        "victim": MemRequest(
+            llc_ws_mb=10.0, active_cores=2.0, demand_cores=2.0,
+            mem_bw_gbps=1.5, base_cpi=1.0, llc_sensitivity=0.5,
+            bw_sensitivity=0.5,
+        ),
+        "hog": MemRequest(llc_ws_mb=5000.0, active_cores=8.0,
+                          demand_cores=8.0, mem_bw_gbps=90.0),
+    }
+    for _ in range(50):
+        cpi = ms.evaluate(reqs, dt=1.0)["victim"].cpi
+        # Allow only the small fast-noise dip below base.
+        assert cpi > 0.9
+
+
+def test_mpki_interpolates_between_min_and_max():
+    ms = make(llc_mb=30.0)
+    out = ms.evaluate(
+        {"a": MemRequest(llc_ws_mb=10.0, active_cores=2.0, mem_bw_gbps=1.0,
+                         mpki_min=1.0, mpki_max=11.0)},
+        dt=1.0,
+    )
+    assert out["a"].mpki == pytest.approx(1.0)  # fully resident
+    out = ms.evaluate(
+        {
+            "a": MemRequest(llc_ws_mb=10.0, active_cores=2.0, mem_bw_gbps=1.0,
+                            mpki_min=1.0, mpki_max=11.0),
+            "hog": MemRequest(llc_ws_mb=5000.0, active_cores=8.0, mem_bw_gbps=10.0),
+        },
+        dt=1.0,
+    )
+    assert out["a"].mpki > 5.0
+
+
+def test_invalid_dt():
+    ms = make()
+    with pytest.raises(ValueError):
+        ms.evaluate({}, dt=0.0)
+
+
+def test_occupancy_never_exceeds_llc():
+    ms = make(llc_mb=30.0)
+    out = ms.evaluate(
+        {
+            f"v{i}": MemRequest(llc_ws_mb=50.0, active_cores=2.0, mem_bw_gbps=1.0)
+            for i in range(8)
+        },
+        dt=1.0,
+    )
+    assert sum(o.occupancy_mb for o in out.values()) <= 30.0 + 1e-9

@@ -1,0 +1,177 @@
+"""Unit tests for the metrics primitives (time series, EWMA, stats)."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.ewma import Ewma, ewma_series
+from repro.metrics.stats import (
+    coefficient_of_variation,
+    group_std,
+    normalize_by_peak,
+    percentile_summary,
+    safe_ratio,
+)
+from repro.metrics.timeseries import TimeSeries
+
+
+# ------------------------------------------------------------------ TimeSeries
+
+def test_timeseries_append_and_read():
+    ts = TimeSeries()
+    ts.append(0.0, 1.0)
+    ts.append(5.0, 2.0)
+    assert len(ts) == 2
+    assert ts.last_time == 5.0
+    assert ts.last_value == 2.0
+    assert ts.times().tolist() == [0.0, 5.0]
+    assert ts.values().tolist() == [1.0, 2.0]
+
+
+def test_timeseries_rejects_time_regression():
+    ts = TimeSeries(name="x")
+    ts.append(5.0, 1.0)
+    with pytest.raises(ValueError):
+        ts.append(4.0, 2.0)
+
+
+def test_timeseries_capacity_evicts_oldest():
+    ts = TimeSeries(capacity=3)
+    for i in range(5):
+        ts.append(float(i), float(i * 10))
+    assert ts.times().tolist() == [2.0, 3.0, 4.0]
+
+
+def test_timeseries_tail():
+    ts = TimeSeries()
+    for i in range(6):
+        ts.append(float(i), float(i))
+    t, v = ts.tail(2)
+    assert t.tolist() == [4.0, 5.0]
+    t, v = ts.tail(100)
+    assert len(t) == 6
+    t, v = ts.tail(0)
+    assert len(t) == 0
+
+
+def test_timeseries_window():
+    ts = TimeSeries()
+    for i in range(10):
+        ts.append(float(i), float(i))
+    t, v = ts.window(3.0, 6.0)
+    assert t.tolist() == [3.0, 4.0, 5.0, 6.0]
+
+
+def test_timeseries_value_at_and_resample():
+    ts = TimeSeries()
+    ts.append(0.0, 10.0)
+    ts.append(5.0, 20.0)
+    assert ts.value_at(5.0) == 20.0
+    assert ts.value_at(4.9) is None
+    out = ts.resampled_at([0.0, 2.5, 5.0], missing=-1.0)
+    assert out.tolist() == [10.0, -1.0, 20.0]
+
+
+def test_timeseries_invalid_capacity():
+    with pytest.raises(ValueError):
+        TimeSeries(capacity=0)
+
+
+def test_timeseries_iter_and_bool():
+    ts = TimeSeries()
+    assert not ts
+    ts.append(1.0, 2.0)
+    assert ts
+    assert list(ts) == [(1.0, 2.0)]
+
+
+# ----------------------------------------------------------------------- EWMA
+
+def test_ewma_first_sample_passthrough():
+    f = Ewma(alpha=0.3)
+    assert f.update(10.0) == 10.0
+
+
+def test_ewma_recursion():
+    f = Ewma(alpha=0.5)
+    f.update(0.0)
+    assert f.update(10.0) == 5.0
+    assert f.update(10.0) == 7.5
+    assert f.count == 3
+
+
+def test_ewma_alpha_one_tracks_exactly():
+    f = Ewma(alpha=1.0)
+    f.update(3.0)
+    assert f.update(8.0) == 8.0
+
+
+def test_ewma_invalid_alpha():
+    with pytest.raises(ValueError):
+        Ewma(alpha=0.0)
+    with pytest.raises(ValueError):
+        Ewma(alpha=1.5)
+
+
+def test_ewma_rejects_nonfinite():
+    f = Ewma()
+    with pytest.raises(ValueError):
+        f.update(float("nan"))
+
+
+def test_ewma_reset():
+    f = Ewma(alpha=0.5)
+    f.update(4.0)
+    f.reset()
+    assert f.value is None
+    assert f.update(2.0) == 2.0
+
+
+def test_ewma_series_matches_stateful():
+    xs = [1.0, 4.0, 2.0, 8.0]
+    f = Ewma(alpha=0.25)
+    expected = [f.update(x) for x in xs]
+    assert ewma_series(xs, alpha=0.25).tolist() == expected
+
+
+# ---------------------------------------------------------------------- stats
+
+def test_group_std_basics():
+    assert group_std([3.0, 3.0, 3.0]) == 0.0
+    assert group_std([2.0]) == 0.0
+    assert group_std([]) == 0.0
+    assert group_std([0.0, 2.0]) == pytest.approx(1.0)
+
+
+def test_group_std_ignores_nonfinite_and_none():
+    assert group_std([1.0, None, float("nan"), 3.0]) == pytest.approx(1.0)
+
+
+def test_safe_ratio():
+    assert safe_ratio(10.0, 2.0) == 5.0
+    assert safe_ratio(10.0, 0.0) == 0.0
+    assert safe_ratio(10.0, 0.0, default=7.0) == 7.0
+    assert safe_ratio(10.0, None, default=1.0) == 1.0
+
+
+def test_coefficient_of_variation():
+    assert coefficient_of_variation([5.0, 5.0]) == 0.0
+    assert coefficient_of_variation([1.0]) == 0.0
+    assert coefficient_of_variation([0.0, 0.0]) == 0.0
+    assert coefficient_of_variation([2.0, 4.0]) == pytest.approx(1.0 / 3.0)
+
+
+def test_normalize_by_peak():
+    out = normalize_by_peak([1.0, -4.0, 2.0])
+    assert np.max(np.abs(out)) == pytest.approx(1.0)
+    assert normalize_by_peak([0.0, 0.0]).tolist() == [0.0, 0.0]
+    assert normalize_by_peak([]).size == 0
+
+
+def test_percentile_summary():
+    s = percentile_summary([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert s["min"] == 1.0 and s["max"] == 5.0
+    assert s["median"] == 3.0
+    assert s["n"] == 5
+    assert s["iqr"] == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        percentile_summary([])

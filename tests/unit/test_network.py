@@ -1,0 +1,98 @@
+"""Unit tests for the NIC-constrained network fabric."""
+
+import pytest
+
+from repro.hardware.network import Flow, NetworkFabric
+
+
+def fabric(**caps):
+    return NetworkFabric({h: float(c) for h, c in caps.items()})
+
+
+def test_underload_full_delivery():
+    f = fabric(h0=10e9, h1=10e9)
+    flows = [Flow("a", "b", "h0", "h1", 1e9)]
+    out = f.allocate(flows, dt=1.0)
+    assert out == [pytest.approx(1e9)]
+
+
+def test_intra_host_flow_unconstrained():
+    f = fabric(h0=1e6)
+    flows = [Flow("a", "b", "h0", "h0", 1e9)]
+    out = f.allocate(flows, dt=1.0)
+    assert out[0] == pytest.approx(1e9)
+
+
+def test_egress_bottleneck_shared():
+    f = fabric(h0=1e9, h1=10e9, h2=10e9)
+    flows = [
+        Flow("a", "b", "h0", "h1", 1e9),
+        Flow("a", "c", "h0", "h2", 1e9),
+    ]
+    out = f.allocate(flows, dt=1.0)
+    assert sum(out) <= 1e9 * 1.01
+    assert out[0] == pytest.approx(out[1], rel=0.05)
+
+
+def test_ingress_bottleneck_shared():
+    f = fabric(h0=10e9, h1=10e9, h2=1e9)
+    flows = [
+        Flow("a", "c", "h0", "h2", 1e9),
+        Flow("b", "c", "h1", "h2", 1e9),
+    ]
+    out = f.allocate(flows, dt=1.0)
+    assert sum(out) <= 1e9 * 1.01
+
+
+def test_no_nic_exceeds_capacity():
+    f = fabric(h0=1e9, h1=2e9, h2=1.5e9)
+    flows = [
+        Flow("a", "b", "h0", "h1", 3e9),
+        Flow("c", "d", "h1", "h2", 3e9),
+        Flow("e", "g", "h2", "h0", 3e9),
+    ]
+    rates = [b / 1.0 for b in f.allocate(flows, dt=1.0)]
+    egress = {"h0": rates[0], "h1": rates[1], "h2": rates[2]}
+    ingress = {"h1": rates[0], "h2": rates[1], "h0": rates[2]}
+    caps = {"h0": 1e9, "h1": 2e9, "h2": 1.5e9}
+    for h in caps:
+        assert egress[h] <= caps[h] * 1.01
+        assert ingress[h] <= caps[h] * 1.01
+
+
+def test_dt_scales_bytes():
+    f = fabric(h0=10e9, h1=10e9)
+    out = f.allocate([Flow("a", "b", "h0", "h1", 1e9)], dt=2.0)
+    assert out[0] == pytest.approx(2e9)
+
+
+def test_unknown_host_rejected():
+    f = fabric(h0=1e9)
+    with pytest.raises(KeyError):
+        f.allocate([Flow("a", "b", "h0", "nope", 1.0)], dt=1.0)
+
+
+def test_negative_demand_rejected():
+    f = fabric(h0=1e9, h1=1e9)
+    with pytest.raises(ValueError):
+        f.allocate([Flow("a", "b", "h0", "h1", -1.0)], dt=1.0)
+
+
+def test_invalid_dt_rejected():
+    f = fabric(h0=1e9)
+    with pytest.raises(ValueError):
+        f.allocate([], dt=0.0)
+
+
+def test_empty_flows():
+    f = fabric(h0=1e9)
+    assert f.allocate([], dt=1.0) == []
+    assert f.utilization == {}
+
+
+def test_utilization_reported():
+    f = fabric(h0=1e9, h1=1e9)
+    f.allocate([Flow("a", "b", "h0", "h1", 0.5e9)], dt=1.0)
+    egress, ingress = f.utilization["h0"]
+    assert egress == pytest.approx(0.5)
+    assert ingress == 0.0

@@ -1,0 +1,89 @@
+"""Direct unit tests of the node manager's control branches."""
+
+import pytest
+
+from repro.cloud.nova import CloudManager
+from repro.core.config import PerfCloudConfig
+from repro.core.monitor import VmSample
+from repro.core.node_manager import NodeManager
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+
+
+@pytest.fixture
+def nm():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    cloud.boot("victim", host="h0", priority=Priority.HIGH, app_id="app")
+    cloud.boot("bad", host="h0", priority=Priority.LOW)
+    return NodeManager(sim, "h0", cloud, PerfCloudConfig(), autostart=False)
+
+
+def sample(io_bps=5e6, cores=2.0):
+    return {
+        "bad": VmSample(time=0.0, iowait_ratio=0.0, cpi=1.0,
+                        io_bytes_ps=io_bps, llc_miss_rate=None,
+                        cpu_usage_cores=cores),
+    }
+
+
+def test_cap_created_only_under_contention(nm):
+    nm._control("io", {"bad"}, False, sample(), now=5.0)
+    assert nm.cap_states == {}
+    nm._control("io", {"bad"}, True, sample(), now=10.0)
+    state = nm.cap_states[("bad", "io")]
+    assert state.cap == pytest.approx(0.2)
+    assert state.base == pytest.approx(5e6)
+
+
+def test_cap_not_created_without_identification(nm):
+    nm._control("io", set(), True, sample(), now=5.0)
+    assert nm.cap_states == {}
+
+
+def test_cap_keeps_recovering_after_antagonist_ages_out(nm):
+    nm._control("io", {"bad"}, True, sample(), now=5.0)
+    cap0 = nm.cap_states[("bad", "io")].cap
+    # The suspect drops off the antagonist list; recovery must continue.
+    caps = [cap0]
+    for t in range(10, 80, 5):
+        nm._control("io", set(), False, sample(), now=float(t))
+        state = nm.cap_states.get(("bad", "io"))
+        if state is None:
+            break  # released and pruned
+        caps.append(state.cap)
+    assert caps[-1] > caps[0]
+    assert ("bad", "io") not in nm.cap_states  # pruned once released
+
+
+def test_released_antagonist_state_retained_while_still_identified(nm):
+    nm._control("cpu", {"bad"}, True, sample(), now=5.0)
+    for t in range(10, 200, 5):
+        nm._control("cpu", {"bad"}, False, sample(), now=float(t))
+    # Still identified: state retained (released), ready to re-engage.
+    state = nm.cap_states.get(("bad", "cpu"))
+    assert state is not None and state.released
+    nm._control("cpu", {"bad"}, True, sample(), now=300.0)
+    assert not nm.cap_states[("bad", "cpu")].released
+
+
+def test_actuation_reaches_cgroup_and_actions_log(nm):
+    nm._control("io", {"bad"}, True, sample(), now=5.0)
+    vm = nm.cloud.cluster.vms["bad"]
+    assert vm.cgroup.throttle.bps_cap == pytest.approx(0.2 * 5e6)
+    assert nm.actions[-1][1] == "bad"
+    nm._control("cpu", {"bad"}, True, sample(), now=10.0)
+    assert vm.cgroup.cpu.quota_cores is not None
+
+
+def test_zero_usage_suspect_not_capped(nm):
+    nm._control("io", {"bad"}, True, sample(io_bps=0.0), now=5.0)
+    assert nm.cap_states == {}
+
+
+def test_missing_sample_suspect_not_capped(nm):
+    nm._control("io", {"ghost"}, True, {}, now=5.0)
+    assert nm.cap_states == {}

@@ -1,0 +1,69 @@
+"""Unit tests for the comparison policies (default / static caps)."""
+
+import pytest
+
+from repro.core.policies import DefaultPolicy, StaticCapPolicy
+from repro.cloud.nova import CloudManager
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(dt=1.0, seed=1)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    fio = cloud.boot("fio", host="h0")
+    stream = cloud.boot("stream", "m1.2xlarge", host="h0")
+    return sim, cluster, cloud, fio, stream
+
+
+def test_default_policy_is_inert(world):
+    sim, cluster, cloud, fio, stream = world
+    policy = DefaultPolicy(sim, cloud)
+    policy.stop()
+    assert fio.cgroup.throttle.bps_cap is None
+    assert fio.cgroup.cpu.quota_cores is None
+
+
+def test_static_policy_applies_both_cap_kinds(world):
+    sim, cluster, cloud, fio, stream = world
+    policy = StaticCapPolicy(
+        sim, cloud,
+        io_caps={"fio": (0.2, 6.0e6)},
+        cpu_caps={"stream": (0.2, 8.0)},
+    )
+    assert fio.cgroup.throttle.bps_cap == pytest.approx(1.2e6)
+    assert stream.cgroup.cpu.quota_cores == pytest.approx(1.6)
+    assert policy.applied["fio"]["io"] == pytest.approx(1.2e6)
+
+
+def test_static_policy_stop_removes_caps(world):
+    sim, cluster, cloud, fio, stream = world
+    policy = StaticCapPolicy(
+        sim, cloud,
+        io_caps={"fio": (0.2, 6.0e6)},
+        cpu_caps={"stream": (0.2, 8.0)},
+    )
+    policy.stop()
+    assert fio.cgroup.throttle.bps_cap is None
+    assert stream.cgroup.cpu.quota_cores is None
+    assert policy.applied == {}
+
+
+def test_static_policy_validation(world):
+    sim, cluster, cloud, fio, stream = world
+    with pytest.raises(ValueError):
+        StaticCapPolicy(sim, cloud, io_caps={"fio": (0.0, 1e6)})
+    with pytest.raises(ValueError):
+        StaticCapPolicy(sim, cloud, cpu_caps={"stream": (0.5, 0.0)})
+
+
+def test_static_policy_cpu_floor_respects_libvirt_minimum(world):
+    sim, cluster, cloud, fio, stream = world
+    # A tiny fraction still produces a valid (>= 1000 us) quota.
+    StaticCapPolicy(sim, cloud, cpu_caps={"stream": (0.001, 8.0)})
+    assert stream.cgroup.cpu.quota_cores is not None
+    assert stream.cgroup.cpu.quota_cores > 0

@@ -1,0 +1,128 @@
+"""Unit tests for the shared FrameworkScheduler machinery."""
+
+import pytest
+
+from repro.frameworks.hdfs import HdfsCluster
+from repro.frameworks.jobs import JobState
+from repro.frameworks.mapreduce.jobtracker import JobTracker
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.vm import Priority
+from repro.workloads.datagen import teragen
+from repro.workloads.puma import terasort
+
+
+def make_jt(n_workers=3, seed=2):
+    sim = Simulator(dt=1.0, seed=seed)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    workers = [
+        cluster.boot_vm(f"w{i}", "h0", priority=Priority.HIGH, app_id="a")
+        for i in range(n_workers)
+    ]
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    return sim, JobTracker(sim, workers, hdfs)
+
+
+def test_scheduler_requires_workers():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    hdfs = HdfsCluster(["x"], sim.rng.stream("hdfs"))
+    with pytest.raises(ValueError):
+        JobTracker(sim, [], hdfs)
+
+
+def test_job_ids_are_unique_and_namespaced():
+    sim, jt = make_jt()
+    j1 = jt.submit(terasort(), teragen(64), 1)
+    j2 = jt.submit(terasort(), teragen(128), 1)
+    assert j1.id != j2.id
+    assert j1.id.startswith("mr-job")
+
+
+def test_kill_job_frees_slots_and_marks_state():
+    sim, jt = make_jt()
+    job = jt.submit(terasort(), teragen(320), 2)
+    sim.run(10)  # maps launched
+    running = [a for t in job.tasks for a in t.attempts if a.running]
+    assert running
+    jt.kill_job(job)
+    assert job.state is JobState.KILLED
+    assert all(not a.running for t in job.tasks for a in t.attempts)
+    assert all(e.free_slots == e.slots for e in jt.executors.values())
+    # Killed work is charged to the ledger.
+    assert jt.ledger.killed_task_seconds > 0
+
+
+def test_killed_job_does_not_block_queue():
+    sim, jt = make_jt()
+    j1 = jt.submit(terasort(), teragen(320), 2)
+    j2 = jt.submit(terasort(), teragen(192), 2)
+    sim.run(5)
+    jt.kill_job(j1)
+    sim.run(3000)
+    assert j2.state is JobState.SUCCEEDED
+
+
+def test_completion_listeners_fire_once_per_job():
+    sim, jt = make_jt()
+    seen = []
+    jt.completion_listeners.append(lambda job: seen.append(job.id))
+    j1 = jt.submit(terasort(), teragen(128), 1)
+    j2 = jt.submit(terasort(), teragen(128, ).sized(192), 1)
+    sim.run(3000)
+    assert sorted(seen) == sorted([j1.id, j2.id])
+
+
+def test_stop_halts_heartbeats():
+    sim, jt = make_jt()
+    jt.stop()
+    job = jt.submit(terasort(), teragen(64), 1)
+    sim.run(200)
+    assert job.state is JobState.PENDING  # nothing ever scheduled
+
+
+def test_all_done_and_finished_jobs():
+    sim, jt = make_jt()
+    assert jt.all_done()  # vacuously
+    job = jt.submit(terasort(), teragen(64), 1)
+    assert not jt.all_done()
+    sim.run(2000)
+    assert jt.all_done()
+    assert jt.finished_jobs() == [job]
+
+
+def test_fair_policy_lets_small_job_slip_past_large():
+    """Under FIFO a large job monopolizes slots; under fair the small job
+    finishes much earlier."""
+    from repro.workloads.datagen import wikipedia
+    from repro.workloads.puma import wordcount
+
+    def small_jct(policy):
+        sim = Simulator(dt=1.0, seed=9)
+        cluster = Cluster(sim)
+        cluster.add_host("h0")
+        workers = [
+            cluster.boot_vm(f"w{i}", "h0", priority=Priority.HIGH, app_id="a")
+            for i in range(3)
+        ]
+        hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+        jt = JobTracker(sim, workers, hdfs, policy=policy)
+        big = jt.submit(wordcount(), wikipedia(64 * 30), 10)
+        small = jt.submit(wordcount(), wikipedia(64), 1)
+        sim.run(8000)
+        assert small.completion_time is not None
+        return small.completion_time
+
+    assert small_jct("fair") < small_jct("fifo") * 0.9
+
+
+def test_invalid_policy_rejected():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    workers = [cluster.boot_vm("w0", "h0", priority=Priority.HIGH, app_id="a")]
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    with pytest.raises(ValueError):
+        JobTracker(sim, workers, hdfs, policy="lottery")

@@ -1,0 +1,209 @@
+"""Unit tests for the discrete-event simulator core."""
+
+import pytest
+
+from repro.sim.engine import SimError, Simulator
+
+
+class Recorder:
+    def __init__(self):
+        self.events = []
+
+    def make(self, label):
+        def cb():
+            self.events.append(label)
+        return cb
+
+
+def test_events_fire_in_time_order(sim):
+    rec = Recorder()
+    sim.schedule(5.0, rec.make("b"))
+    sim.schedule(2.0, rec.make("a"))
+    sim.schedule(9.0, rec.make("c"))
+    sim.run(10.0)
+    assert rec.events == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order(sim):
+    rec = Recorder()
+    for label in "abcd":
+        sim.schedule(3.0, rec.make(label))
+    sim.run(5.0)
+    assert rec.events == list("abcd")
+
+
+def test_now_advances_to_event_time(sim):
+    seen = []
+    sim.schedule(4.0, lambda: seen.append(sim.now))
+    sim.run(10.0)
+    assert seen == [4.0]
+    assert sim.now == 10.0
+
+
+def test_cancelled_event_does_not_fire(sim):
+    rec = Recorder()
+    ev = sim.schedule(1.0, rec.make("x"))
+    ev.cancel()
+    sim.run(5.0)
+    assert rec.events == []
+
+
+def test_schedule_into_past_rejected(sim):
+    sim.run(5.0)
+    with pytest.raises(SimError):
+        sim.schedule_at(3.0, lambda: None)
+    with pytest.raises(SimError):
+        sim.schedule(-1.0, lambda: None)
+
+
+def test_non_callable_rejected(sim):
+    with pytest.raises(SimError):
+        sim.schedule(1.0, "not-callable")
+
+
+def test_run_backwards_rejected(sim):
+    sim.run(5.0)
+    with pytest.raises(SimError):
+        sim.run(4.0)
+
+
+def test_run_is_resumable(sim):
+    rec = Recorder()
+    sim.schedule(2.0, rec.make("a"))
+    sim.schedule(7.0, rec.make("b"))
+    sim.run(5.0)
+    assert rec.events == ["a"]
+    sim.run(10.0)
+    assert rec.events == ["a", "b"]
+
+
+def test_periodic_task_fires_on_interval(sim):
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now))
+    sim.run(7.0)
+    assert ticks == [2.0, 4.0, 6.0]
+
+
+def test_periodic_task_stop(sim):
+    ticks = []
+    task = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.schedule(3.5, task.stop)
+    sim.run(10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert task.stopped
+
+
+def test_periodic_task_stopiteration_ends_it(sim):
+    ticks = []
+
+    def cb():
+        ticks.append(sim.now)
+        if len(ticks) >= 2:
+            raise StopIteration
+
+    task = sim.every(1.0, cb)
+    sim.run(10.0)
+    assert ticks == [1.0, 2.0]
+    assert task.stopped
+
+
+def test_periodic_custom_start(sim):
+    ticks = []
+    sim.every(2.0, lambda: ticks.append(sim.now), start=1.0)
+    sim.run(6.0)
+    assert ticks == [1.0, 3.0, 5.0]
+
+
+def test_invalid_periodic_interval(sim):
+    with pytest.raises(SimError):
+        sim.every(0.0, lambda: None)
+
+
+def test_stepper_called_every_dt():
+    sim = Simulator(dt=0.5)
+    calls = []
+
+    class S:
+        def step(self, dt):
+            calls.append((sim.now, dt))
+
+    sim.add_stepper(S())
+    sim.run(2.0)
+    assert [c[0] for c in calls] == [0.5, 1.0, 1.5, 2.0]
+    assert all(c[1] == 0.5 for c in calls)
+
+
+def test_stepper_runs_before_same_time_events(sim):
+    order = []
+
+    class S:
+        def step(self, dt):
+            order.append("step")
+
+    sim.add_stepper(S())
+    sim.schedule(1.0, lambda: order.append("event"))
+    sim.run(1.0)
+    assert order == ["step", "event"]
+
+
+def test_remove_stepper(sim):
+    calls = []
+
+    class S:
+        def step(self, dt):
+            calls.append(sim.now)
+
+    s = S()
+    sim.add_stepper(s)
+    sim.run(2.0)
+    sim.remove_stepper(s)
+    sim.run(5.0)
+    assert calls == [1.0, 2.0]
+
+
+def test_stepper_requires_step_method(sim):
+    with pytest.raises(SimError):
+        sim.add_stepper(object())
+
+
+def test_invalid_dt_rejected():
+    with pytest.raises(SimError):
+        Simulator(dt=0.0)
+
+
+def test_event_counters(sim):
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+
+    class S:
+        def step(self, dt):
+            pass
+
+    sim.add_stepper(S())
+    sim.run(3.0)
+    assert sim.events_fired == 2
+    assert sim.ticks == 3
+
+
+def test_zero_delay_event_from_callback_runs_same_time(sim):
+    order = []
+
+    def outer():
+        order.append(("outer", sim.now))
+        sim.schedule(0.0, lambda: order.append(("inner", sim.now)))
+
+    sim.schedule(2.0, outer)
+    sim.run(5.0)
+    assert order == [("outer", 2.0), ("inner", 2.0)]
+
+
+def test_determinism_same_seed():
+    def run(seed):
+        s = Simulator(dt=1.0, seed=seed)
+        vals = []
+        s.every(1.0, lambda: vals.append(float(s.rng.stream("x").random())))
+        s.run(10.0)
+        return vals
+
+    assert run(7) == run(7)
+    assert run(7) != run(8)

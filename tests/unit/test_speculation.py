@@ -1,0 +1,100 @@
+"""Unit tests for the speculation policies (LATE baseline)."""
+
+import pytest
+
+from repro.frameworks.jobs import Job, Task, TaskWork
+from repro.frameworks.speculation import LateSpeculation, NoSpeculation
+
+
+def running_task(task_id, progress_per_s, started_at=0.0, now=60.0, vm="vmX"):
+    """A task with one live attempt progressing at the given rate."""
+    job = Job("j", "b", "mapreduce", 0.0)
+    task = Task(task_id, job, "map", TaskWork(cpu_coresec=100.0))
+    job.add_task(task)
+    attempt = task.new_attempt(vm, now=started_at)
+    t = started_at
+    while t < now:
+        t += 1.0
+        attempt.advance(effective_coresec=progress_per_s * 100.0, now=t)
+    return task
+
+
+def test_no_speculation_never_selects():
+    task = running_task("t", 0.001)
+    policy = NoSpeculation()
+    assert policy.select_task([task], "vm0", 60.0,
+                              total_slots=10, speculative_running=0) is None
+
+
+def test_late_picks_slowest_estimated_finish():
+    slow = running_task("slow", 0.001, vm="vm-slow")
+    fast = running_task("fast", 0.02, vm="vm-fast")
+    policy = LateSpeculation(min_runtime_s=10.0)
+    pick = policy.select_task([slow, fast], "vm0", 60.0,
+                              total_slots=20, speculative_running=0)
+    assert pick is slow
+
+
+def test_late_respects_speculative_cap():
+    slow = running_task("slow", 0.001)
+    policy = LateSpeculation(speculative_cap=0.1, min_runtime_s=10.0)
+    assert policy.select_task([slow], "vm0", 60.0,
+                              total_slots=20, speculative_running=2) is None
+
+
+def test_late_waits_for_min_runtime():
+    young = running_task("young", 0.001, started_at=55.0, now=60.0)
+    policy = LateSpeculation(min_runtime_s=15.0)
+    assert policy.select_task([young], "vm0", 60.0,
+                              total_slots=20, speculative_running=0) is None
+
+
+def test_late_skips_tasks_already_on_target_vm():
+    task = running_task("t", 0.001, vm="vm0")
+    policy = LateSpeculation(min_runtime_s=10.0)
+    assert policy.select_task([task], "vm0", 60.0,
+                              total_slots=20, speculative_running=0) is None
+
+
+def test_late_skips_multi_attempt_tasks():
+    task = running_task("t", 0.001)
+    task.new_attempt("vm1", now=30.0, speculative=True)
+    policy = LateSpeculation(min_runtime_s=10.0)
+    assert policy.select_task([task], "vm0", 60.0,
+                              total_slots=20, speculative_running=0) is None
+
+
+def test_late_slow_task_threshold_filters_healthy_tasks():
+    # All tasks equally healthy: the percentile cut still admits the
+    # slowest ones; a distinctly fast task is never picked over slower.
+    tasks = [running_task(f"t{i}", 0.001 * (i + 1), vm=f"vm{i}")
+             for i in range(8)]
+    policy = LateSpeculation(min_runtime_s=10.0, slow_task_pct=25.0)
+    pick = policy.select_task(tasks, "vm-free", 60.0,
+                              total_slots=40, speculative_running=0)
+    assert pick is tasks[0]
+
+
+def test_late_avoids_slow_nodes():
+    policy = LateSpeculation(min_runtime_s=10.0, slow_node_pct=50.0)
+
+    class FakeAttempt:
+        def __init__(self, vm, runtime):
+            self.vm_name = vm
+            self.runtime = runtime
+
+    # Teach the policy node speeds: vmA..vmD, vmA slowest.
+    for vm, runtime in (("vmA", 100.0), ("vmB", 10.0), ("vmC", 10.0), ("vmD", 10.0)):
+        policy.observe_completion(FakeAttempt(vm, runtime))
+    slow = running_task("t", 0.001)
+    assert policy.select_task([slow], "vmA", 60.0,
+                              total_slots=20, speculative_running=0) is None
+    assert policy.select_task([slow], "vmB", 60.0,
+                              total_slots=20, speculative_running=0) is slow
+
+
+def test_late_parameter_validation():
+    with pytest.raises(ValueError):
+        LateSpeculation(speculative_cap=0.0)
+    with pytest.raises(ValueError):
+        LateSpeculation(slow_task_pct=150.0)

@@ -1,0 +1,247 @@
+"""Unit tests for the virtualization layer: cgroups, VM, hypervisor, libvirt."""
+
+import pytest
+
+from repro.hardware.resources import PerfProfile, ResourceDemand, ResourceGrant
+from repro.sim.engine import Simulator
+from repro.virt.cgroups import BlkioThrottle, Cgroup
+from repro.virt.cluster import Cluster
+from repro.virt.hypervisor import Hypervisor
+from repro.virt.libvirt_api import VCPU_PERIOD_US, Connection, LibvirtError
+from repro.virt.vm import VM, Priority
+
+
+# --------------------------------------------------------------------- cgroup
+
+def test_cgroup_accounting_math():
+    cg = Cgroup(name="vm0")
+    grant = ResourceGrant(
+        dt=1.0,
+        cpu_coresec=2.0,
+        effective_coresec=1.0,
+        cpi=2.0,
+        mpki=10.0,
+        read_ops=100.0,
+        write_ops=50.0,
+        read_bytes=1e6,
+        write_bytes=5e5,
+        io_wait_ms_per_op=4.0,
+    )
+    cg.account(grant, freq_hz=1e9)
+    assert cg.blkio.io_serviced == 150.0
+    assert cg.blkio.io_wait_time_ms == pytest.approx(600.0)
+    assert cg.blkio.io_service_bytes == pytest.approx(1.5e6)
+    assert cg.cpu.usage_core_seconds == 2.0
+    assert cg.perf.cycles == pytest.approx(2e9)
+    assert cg.perf.instructions == pytest.approx(1e9)
+    assert cg.perf.llc_misses == pytest.approx(1e9 * 10.0 / 1000.0)
+    assert cg.perf.cpi == pytest.approx(2.0)
+
+
+def test_cgroup_counters_cumulative_and_monotonic():
+    cg = Cgroup(name="vm0")
+    g = ResourceGrant(dt=1.0, cpu_coresec=1.0, effective_coresec=1.0,
+                      cpi=1.0, read_ops=10.0, io_wait_ms_per_op=1.0)
+    snaps = []
+    for _ in range(3):
+        cg.account(g, freq_hz=1e9)
+        snaps.append(cg.snapshot())
+    for key in snaps[0]:
+        assert snaps[0][key] <= snaps[1][key] <= snaps[2][key]
+
+
+def test_throttle_validation():
+    thr = BlkioThrottle(iops_cap=-1.0)
+    with pytest.raises(ValueError):
+        thr.validate()
+    BlkioThrottle(iops_cap=None, bps_cap=100.0).validate()
+
+
+# ------------------------------------------------------------------------- VM
+
+class _StubDriver:
+    finished = False
+    profile = PerfProfile(base_cpi=1.4)
+
+    def __init__(self):
+        self.consumed = []
+
+    def demand(self):
+        return ResourceDemand(cpu_cores=8.0, read_iops=10.0)
+
+    def consume(self, grant):
+        self.consumed.append(grant)
+
+
+def test_vm_vcpus_act_as_cpu_cap():
+    vm = VM("v", vcpus=2)
+    assert vm.cpu_cap_cores() == 2.0
+    vm.cgroup.cpu.quota_cores = 0.5
+    assert vm.cpu_cap_cores() == 0.5
+    vm.cgroup.cpu.quota_cores = 10.0
+    assert vm.cpu_cap_cores() == 2.0  # vcpus still bind
+
+
+def test_vm_demand_passthrough_and_idle():
+    vm = VM("v", vcpus=2)
+    assert vm.poll_demand().is_idle
+    drv = _StubDriver()
+    vm.attach_workload(drv)
+    d = vm.poll_demand()
+    assert d.cpu_cores == 8.0  # unclamped; cap applies at allocation
+    drv.finished = True
+    assert vm.poll_demand().is_idle
+
+
+def test_vm_deliver_accounts_and_feeds_driver():
+    vm = VM("v", vcpus=2)
+    drv = _StubDriver()
+    vm.attach_workload(drv)
+    vm.set_host("h0", freq_hz=2e9, boot_time=0.0)
+    grant = ResourceGrant(dt=1.0, cpu_coresec=1.0, effective_coresec=1.0, cpi=1.0)
+    vm.deliver(grant)
+    assert drv.consumed == [grant]
+    assert vm.cgroup.perf.cycles == pytest.approx(2e9)
+
+
+def test_vm_profile_defaults_without_driver():
+    vm = VM("v")
+    assert vm.perf_profile().base_cpi == 1.0
+    vm.attach_workload(_StubDriver())
+    assert vm.perf_profile().base_cpi == 1.4
+
+
+def test_vm_rejects_bad_driver_and_params():
+    vm = VM("v")
+    with pytest.raises(TypeError):
+        vm.attach_workload(object())
+    with pytest.raises(ValueError):
+        VM("v", vcpus=0)
+    with pytest.raises(ValueError):
+        VM("v", mem_gb=0)
+
+
+# --------------------------------------------------------- hypervisor/libvirt
+
+@pytest.fixture
+def world():
+    sim = Simulator(dt=1.0, seed=1)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    vm = cluster.boot_vm("vm0", "h0", vcpus=2, priority=Priority.LOW)
+    hv = Hypervisor(cluster.hosts["h0"])
+    return sim, cluster, vm, hv
+
+
+def test_hypervisor_set_caps(world):
+    _, _, vm, hv = world
+    hv.set_cpu_cap("vm0", 1.0)
+    assert vm.cgroup.cpu.quota_cores == 1.0
+    hv.set_blkio_throttle("vm0", iops_cap=50.0, bps_cap=1e6)
+    assert vm.cgroup.throttle.iops_cap == 50.0
+    assert ("cpu_cap", "vm0", 1.0) in hv.actuation_log
+
+
+def test_hypervisor_unknown_guest(world):
+    _, _, _, hv = world
+    with pytest.raises(KeyError):
+        hv.set_cpu_cap("nope", 1.0)
+
+
+def test_libvirt_scheduler_parameters_units(world):
+    _, _, vm, hv = world
+    conn = Connection(hv)
+    dom = conn.lookupByName("vm0")
+    # 2 vcpus at 25,000/100,000 quota -> 0.5 cores
+    dom.setSchedulerParameters({"vcpu_quota": 25_000})
+    assert vm.cgroup.cpu.quota_cores == pytest.approx(0.5)
+    params = dom.schedulerParameters()
+    assert params["vcpu_period"] == VCPU_PERIOD_US
+    assert params["vcpu_quota"] == pytest.approx(25_000, rel=0.01)
+    dom.setSchedulerParameters({"vcpu_quota": -1})
+    assert vm.cgroup.cpu.quota_cores is None
+
+
+def test_libvirt_quota_minimum_enforced(world):
+    _, _, _, hv = world
+    dom = Connection(hv).lookupByName("vm0")
+    with pytest.raises(LibvirtError):
+        dom.setSchedulerParameters({"vcpu_quota": 500})
+    with pytest.raises(LibvirtError):
+        dom.setSchedulerParameters({})
+
+
+def test_libvirt_block_io_tune_zero_means_unlimited(world):
+    _, _, vm, hv = world
+    dom = Connection(hv).lookupByName("vm0")
+    dom.setBlockIoTune("vda", {"total_bytes_sec": 1e6})
+    assert vm.cgroup.throttle.bps_cap == 1e6
+    dom.setBlockIoTune("vda", {"total_bytes_sec": 0})
+    assert vm.cgroup.throttle.bps_cap is None
+    with pytest.raises(LibvirtError):
+        dom.setBlockIoTune("vda", {"total_iops_sec": -5})
+
+
+def test_libvirt_stats_surface(world):
+    _, _, vm, hv = world
+    dom = Connection(hv).lookupByName("vm0")
+    assert set(dom.blkioStats()) == {
+        "io_serviced", "io_wait_time_ms", "io_service_bytes"
+    }
+    assert set(dom.perfStats()) == {
+        "cycles", "instructions", "llc_references", "llc_misses"
+    }
+    assert dom.name() == "vm0"
+    assert dom.vcpus() == 2
+
+
+def test_libvirt_connection_listing(world):
+    _, cluster, _, hv = world
+    cluster.boot_vm("vm1", "h0")
+    conn = Connection(hv)
+    assert sorted(d.name() for d in conn.listAllDomains()) == ["vm0", "vm1"]
+    assert conn.hostname() == "h0"
+    with pytest.raises(LibvirtError):
+        conn.lookupByName("ghost")
+
+
+# ------------------------------------------------------------------- cluster
+
+def test_cluster_boot_destroy_migrate():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cluster.add_host("h1")
+    vm = cluster.boot_vm("a", "h0")
+    assert vm.host_name == "h0"
+    assert [v.name for v in cluster.vms_on_host("h0")] == ["a"]
+    cluster.migrate_vm("a", "h1")
+    assert vm.host_name == "h1"
+    assert cluster.vms_on_host("h0") == []
+    cluster.destroy_vm("a")
+    assert "a" not in cluster.vms
+
+
+def test_cluster_duplicate_names_rejected():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cluster.boot_vm("a", "h0")
+    with pytest.raises(ValueError):
+        cluster.boot_vm("a", "h0")
+    with pytest.raises(ValueError):
+        cluster.add_host("h0")
+    with pytest.raises(KeyError):
+        cluster.boot_vm("b", "ghost")
+
+
+def test_cluster_step_delivers_grants():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    vm = cluster.boot_vm("a", "h0")
+    drv = _StubDriver()
+    vm.attach_workload(drv)
+    sim.run(3.0)
+    assert len(drv.consumed) == 3
+    assert vm.cgroup.cpu.usage_core_seconds > 0

@@ -1,0 +1,264 @@
+"""Unit tests for workload drivers, datasets and mixes."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.resources import ResourceGrant
+from repro.workloads.antagonists import (
+    FioRandomRead,
+    StreamBenchmark,
+    SysbenchCpu,
+    SysbenchOltp,
+)
+from repro.workloads.base import RateTracker
+from repro.workloads.datagen import (
+    DEFAULT_BLOCK_MB,
+    Dataset,
+    sparkbench_synthetic,
+    teragen,
+    wikipedia,
+)
+from repro.workloads.mix import JobRequest, facebook_like_mix
+from repro.workloads.puma import PUMA_BENCHMARKS, terasort
+from repro.workloads.sparkbench import SPARKBENCH_BENCHMARKS, logistic_regression
+
+
+# --------------------------------------------------------------- rate tracker
+
+def test_rate_tracker_windowed_rate():
+    rt = RateTracker(window_s=10.0)
+    for _ in range(20):
+        rt.record(5.0, dt=1.0)
+    assert rt.rate() == pytest.approx(5.0)
+    assert rt.total == 100.0
+
+
+def test_rate_tracker_empty():
+    rt = RateTracker()
+    assert rt.rate() == 0.0
+
+
+def test_rate_tracker_validation():
+    with pytest.raises(ValueError):
+        RateTracker(window_s=0.0)
+    rt = RateTracker()
+    with pytest.raises(ValueError):
+        rt.record(1.0, dt=0.0)
+
+
+# ---------------------------------------------------------------- antagonists
+
+def test_fio_demand_shape():
+    fio = FioRandomRead(iops_demand=1000.0, block_kb=4.0)
+    d = fio.demand()
+    assert d.read_iops == 1000.0
+    assert d.read_bytes_ps == pytest.approx(1000.0 * 4096.0)
+    assert d.write_iops == 0.0
+
+
+def test_fio_tracks_achieved_iops():
+    fio = FioRandomRead()
+    for _ in range(5):
+        fio.consume(ResourceGrant(dt=1.0, read_ops=500.0))
+    assert fio.achieved_iops() == pytest.approx(500.0)
+
+
+def test_fio_duration_finishes():
+    fio = FioRandomRead(duration_s=3.0)
+    for _ in range(3):
+        assert not fio.finished
+        fio.consume(ResourceGrant(dt=1.0))
+    assert fio.finished
+    assert fio.demand().is_idle
+
+
+def test_episodic_driver_duty_cycle():
+    fio = FioRandomRead(on_s=10.0, off_s=5.0)
+    activity = []
+    for _ in range(30):
+        activity.append(not fio.demand().is_idle)
+        fio.consume(ResourceGrant(dt=1.0))
+    assert activity[:10] == [True] * 10
+    assert activity[10:15] == [False] * 5
+    assert activity[15:25] == [True] * 10
+
+
+def test_stream_demand_shape():
+    st = StreamBenchmark(threads=8, bw_per_thread_gbps=10.0)
+    d = st.demand()
+    assert d.cpu_cores == 8.0
+    assert d.mem_bw_gbps == pytest.approx(80.0)
+    assert d.llc_ws_mb > 1000.0  # streaming working set dwarfs any LLC
+
+
+def test_stream_tracks_bandwidth():
+    st = StreamBenchmark()
+    st.consume(ResourceGrant(dt=1.0, mem_bytes=20e9))
+    assert st.achieved_bandwidth_gbps() == pytest.approx(20.0)
+
+
+def test_oltp_demand_is_bursty():
+    ol = SysbenchOltp(duration_s=None, burst_period_s=40.0)
+    rates = []
+    for _ in range(40):
+        rates.append(ol.demand().read_iops)
+        ol.consume(ResourceGrant(dt=1.0))
+    assert max(rates) > min(rates) * 1.5
+
+
+def test_oltp_default_duration_matches_paper():
+    assert SysbenchOltp().duration_s == 120.0
+
+
+def test_sysbench_cpu_is_cpu_only():
+    sc = SysbenchCpu(threads=4)
+    d = sc.demand()
+    assert d.cpu_cores == 4.0
+    assert d.read_iops == 0.0
+    assert d.total_bytes_ps == 0.0
+    # True decoy: LLC miss profile does not respond to occupancy.
+    assert sc.profile.mpki_min == sc.profile.mpki_max
+
+
+def test_antagonist_validation():
+    with pytest.raises(ValueError):
+        FioRandomRead(iops_demand=0)
+    with pytest.raises(ValueError):
+        StreamBenchmark(threads=0)
+    with pytest.raises(ValueError):
+        SysbenchOltp(burst_period_s=0)
+    with pytest.raises(ValueError):
+        SysbenchCpu(threads=0)
+    with pytest.raises(ValueError):
+        FioRandomRead(on_s=0.0)
+    with pytest.raises(ValueError):
+        FioRandomRead(off_s=-1.0)
+
+
+# ------------------------------------------------------------------- datasets
+
+def test_dataset_block_count():
+    assert teragen(640).num_blocks == 10
+    assert teragen(1.0).num_blocks == 1
+    assert wikipedia(65).num_blocks == 2
+
+
+def test_dataset_kinds_differ_in_parse_cost():
+    assert wikipedia(64).parse_cost > teragen(64).parse_cost
+    assert sparkbench_synthetic("lr", 64).parse_cost >= 1.0
+
+
+def test_dataset_sized():
+    d = wikipedia(64).sized(128)
+    assert d.size_mb == 128
+    assert d.parse_cost == wikipedia(64).parse_cost
+
+
+# ----------------------------------------------------------------------- mixes
+
+def test_mix_size_distribution():
+    rng = np.random.default_rng(0)
+    mix = facebook_like_mix("mapreduce", 200, rng, small_fraction=0.8)
+    assert len(mix) == 200
+    assert 0.7 < mix.small_fraction < 0.9
+    for job in mix:
+        assert 1 <= job.num_tasks <= 50
+        assert job.dataset.size_mb == job.num_tasks * DEFAULT_BLOCK_MB
+
+
+def test_mix_arrival_times_increase():
+    rng = np.random.default_rng(1)
+    mix = facebook_like_mix("spark", 50, rng)
+    times = [j.submit_time for j in mix]
+    assert times == sorted(times)
+    assert times[0] > 0
+
+
+def test_mix_benchmarks_from_registry():
+    rng = np.random.default_rng(2)
+    mix = facebook_like_mix("mapreduce", 50, rng)
+    assert {j.benchmark for j in mix} <= set(PUMA_BENCHMARKS)
+    mix = facebook_like_mix("spark", 50, rng)
+    assert {j.benchmark for j in mix} <= set(SPARKBENCH_BENCHMARKS)
+
+
+def test_mix_benchmark_filter_and_validation():
+    rng = np.random.default_rng(3)
+    mix = facebook_like_mix("mapreduce", 20, rng, benchmarks=("terasort",))
+    assert {j.benchmark for j in mix} == {"terasort"}
+    with pytest.raises(KeyError):
+        facebook_like_mix("mapreduce", 5, rng, benchmarks=("bogus",))
+    with pytest.raises(ValueError):
+        facebook_like_mix("bogus", 5, rng)
+    with pytest.raises(ValueError):
+        facebook_like_mix("spark", 5, rng, small_fraction=1.5)
+
+
+def test_job_request_validation():
+    with pytest.raises(ValueError):
+        JobRequest("bogus", "terasort", teragen(64), 0.0)
+    with pytest.raises(ValueError):
+        JobRequest("mapreduce", "terasort", teragen(64), -1.0)
+    with pytest.raises(ValueError):
+        JobRequest("mapreduce", "terasort", teragen(64), 0.0, num_reducers=0)
+
+
+# ------------------------------------------------------------------ bench specs
+
+def test_benchmark_spec_validation():
+    from dataclasses import replace
+
+    with pytest.raises(ValueError):
+        replace(terasort(), map_cpu_per_mb=-1.0)
+    with pytest.raises(ValueError):
+        replace(terasort(), shuffle_ratio=5.0)
+    with pytest.raises(ValueError):
+        replace(logistic_regression(), iterations=0)
+    with pytest.raises(ValueError):
+        replace(logistic_regression(), iter_disk_fraction=1.5)
+
+
+def test_spark_profiles_more_sensitive_than_mapreduce():
+    """The paper's §III-A2 observation, encoded in the profiles."""
+    mr = terasort().profile
+    spark = logistic_regression().profile
+    assert spark.llc_sensitivity + spark.bw_sensitivity > 0
+    assert (
+        spark.llc_sensitivity + spark.bw_sensitivity
+        > mr.llc_sensitivity + mr.bw_sensitivity
+    )
+
+
+def test_iperf_stream_demand_and_streams():
+    from repro.workloads.antagonists import IperfStream
+
+    ip = IperfStream(peer_vm="peer", rate_gbps=8.0, streams=4)
+    d = ip.demand()
+    assert len(d.flows) == 4
+    per_stream = 8.0e9 / 8.0 / 4
+    for f in d.flows:
+        assert f.peer_vm == "peer"
+        assert f.direction == "out"
+        assert f.bytes_per_s == pytest.approx(per_stream)
+    ip.consume(ResourceGrant(dt=1.0, net_bytes={"peer": 1e9 / 8}))
+    assert ip.achieved_gbps() == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        IperfStream(peer_vm="p", rate_gbps=0)
+    with pytest.raises(ValueError):
+        IperfStream(peer_vm="p", streams=0)
+
+
+def test_extended_benchmark_registries():
+    assert set(PUMA_BENCHMARKS) >= {
+        "terasort", "wordcount", "inverted-index", "grep",
+        "ranked-inverted-index", "term-vector", "self-join", "adjacency-list",
+    }
+    assert set(SPARKBENCH_BENCHMARKS) >= {
+        "logistic-regression", "svm", "page-rank", "kmeans",
+        "connected-components", "decision-tree",
+    }
+    # Every registry entry builds a valid spec.
+    for factory in PUMA_BENCHMARKS.values():
+        factory()
+    for factory in SPARKBENCH_BENCHMARKS.values():
+        factory()
