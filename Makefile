@@ -1,14 +1,19 @@
 # PerfCloud reproduction — developer entry points.
 
 PY ?= python
+WORKERS ?= 4
+CACHE_DIR ?= .repro-cache
 
-.PHONY: install test bench bench-full examples figures clean
+# Run straight from the source tree — no `pip install -e .` needed.
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: install test bench bench-full examples figures sweep clean
 
 install:
 	pip install -e .
 
 test:
-	$(PY) -m pytest tests/
+	$(PY) -m pytest -x -q
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only
@@ -22,5 +27,10 @@ examples:
 figures:
 	$(PY) -m repro list
 
+# Closed-loop β/γ sweep through the parallel engine with a warm result
+# cache: a second `make sweep` replays entirely from $(CACHE_DIR).
+sweep:
+	$(PY) -m repro sweep --workers $(WORKERS) --cache-dir $(CACHE_DIR)
+
 clean:
-	find . -name __pycache__ -type d -exec rm -rf {} +; rm -rf .pytest_cache .benchmarks
+	find . -name __pycache__ -type d -exec rm -rf {} +; rm -rf .pytest_cache .benchmarks $(CACHE_DIR)

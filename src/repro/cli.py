@@ -6,11 +6,16 @@
     python -m repro fig3                 # run one figure, print its series
     python -m repro fig9 --seed 11
     python -m repro fig11 --full-scale   # paper-size dimensions (slow)
+    python -m repro sweep --workers 4    # β/γ closed-loop sensitivity grid
     python -m repro demo                 # the quickstart scenario
 
 Each figure command accepts ``--seed`` and prints the same tables the
 benchmark harness prints; ``--json PATH`` additionally dumps the raw
-result object for downstream plotting.
+result object for downstream plotting.  Commands built on repeated
+independent simulations (``sweep``, ``fig1``, ``fig2``, ``fig9``,
+``fig11``, ``fig12``) also take ``--workers N`` (process-parallel
+fan-out; 0 = serial) and ``--cache-dir PATH`` (memoize per-run results
+on disk; see docs/PARALLEL.md).
 """
 
 from __future__ import annotations
@@ -21,48 +26,69 @@ import json
 import sys
 from typing import Any, Callable, Dict
 
-from repro.experiments import figures
-from repro.experiments.report import render_table
+from repro.experiments import figures, sweeps
+from repro.experiments.report import ProgressReporter, render_table
+
 
 __all__ = ["main"]
 
-#: figure name -> (runner factory, description, supports_full_scale)
+
+def _parallel_kwargs(a: argparse.Namespace, label: str) -> dict:
+    """Fan-out kwargs for parallel-capable commands (progress on stderr)."""
+    return dict(workers=a.workers, cache_dir=a.cache_dir,
+                progress=ProgressReporter(label))
+
+
+#: name -> (runner factory, description, supports_full_scale, supports_parallel)
 _FIGURES: Dict[str, tuple] = {
-    "fig1": (lambda a: figures.fig1(seeds=(a.seed, a.seed + 4)),
-             "I/O interference vs. fio cap (Fig. 1)", False),
-    "fig2": (lambda a: figures.fig2(seeds=(a.seed, a.seed + 4)),
-             "STREAM (memory) interference (Fig. 2)", False),
+    "fig1": (lambda a: figures.fig1(seeds=(a.seed, a.seed + 4),
+                                    **_parallel_kwargs(a, "fig1")),
+             "I/O interference vs. fio cap (Fig. 1)", False, True),
+    "fig2": (lambda a: figures.fig2(seeds=(a.seed, a.seed + 4),
+                                    **_parallel_kwargs(a, "fig2")),
+             "STREAM (memory) interference (Fig. 2)", False, True),
     "fig3": (lambda a: figures.fig3(seed=a.seed),
-             "iowait-ratio deviation signal (Fig. 3)", False),
+             "iowait-ratio deviation signal (Fig. 3)", False, False),
     "fig4": (lambda a: figures.fig4(seed=a.seed),
-             "CPI deviation signal (Fig. 4)", False),
+             "CPI deviation signal (Fig. 4)", False, False),
     "fig5": (lambda a: figures.fig5(seed=a.seed),
-             "I/O antagonist identification (Fig. 5)", False),
+             "I/O antagonist identification (Fig. 5)", False, False),
     "fig6": (lambda a: figures.fig6(seed=a.seed),
-             "CPU antagonist identification (Fig. 6)", False),
+             "CPU antagonist identification (Fig. 6)", False, False),
     "fig7": (lambda a: figures.fig7(),
-             "CUBIC growth regions (Fig. 7)", False),
-    "fig9": (lambda a: figures.fig9(seeds=(a.seed, a.seed + 4)),
-             "dynamic control: default/static/PerfCloud (Fig. 9)", False),
+             "CUBIC growth regions (Fig. 7)", False, False),
+    "fig9": (lambda a: figures.fig9(seeds=(a.seed, a.seed + 4),
+                                    **_parallel_kwargs(a, "fig9")),
+             "dynamic control: default/static/PerfCloud (Fig. 9)", False, True),
     "fig10": (lambda a: figures.fig10(seed=a.seed),
-              "cap timelines under PerfCloud (Fig. 10)", False),
+              "cap timelines under PerfCloud (Fig. 10)", False, False),
     "fig11": (
         lambda a: figures.fig11(
             seed=a.seed,
             **(dict(num_hosts=15, num_workers=150, num_mr_jobs=100,
                     num_spark_jobs=100, num_antagonist_pairs=15,
                     horizon=40000.0) if a.full_scale else {}),
+            **_parallel_kwargs(a, "fig11"),
         ),
-        "large scale vs. LATE/Dolly (Fig. 11)", True),
+        "large scale vs. LATE/Dolly (Fig. 11)", True, True),
     "fig12": (
         lambda a: figures.fig12(
             **(dict(repeats=30, num_hosts=15, num_workers=150,
                     num_antagonist_pairs=15) if a.full_scale
                else dict(repeats=8, num_hosts=4, num_workers=24, tasks=20,
                          num_antagonist_pairs=2)),
+            **_parallel_kwargs(a, "fig12"),
         ),
-        "variability across repeats (Fig. 12)", True),
+        "variability across repeats (Fig. 12)", True, True),
 }
+
+
+def _csv_floats(text: str) -> tuple:
+    return tuple(float(x) for x in text.split(",") if x.strip())
+
+
+def _csv_ints(text: str) -> tuple:
+    return tuple(int(x) for x in text.split(",") if x.strip())
 
 
 def _to_jsonable(obj: Any) -> Any:
@@ -126,6 +152,39 @@ def _run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_parallel_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", type=int, default=0, metavar="N",
+                   help="process-parallel fan-out of independent runs "
+                        "(0 = in-process serial; default)")
+    p.add_argument("--cache-dir", metavar="PATH", default=None,
+                   help="memoize per-run results on disk; re-runs skip "
+                        "already-computed points")
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    if args.analytic:
+        points = sweeps.analytic_sweep(betas=args.betas, gammas=args.gammas)
+    else:
+        points = sweeps.closed_loop_sweep(
+            betas=args.betas, gammas=args.gammas, seeds=args.seeds,
+            size_mb=args.size_mb, workers=args.workers,
+            cache_dir=args.cache_dir, progress=ProgressReporter("sweep"),
+        )
+    headers = ["beta", "gamma", "K", "depth", "victim JCT", "ant ops/s"]
+    rows = [
+        [p.beta, p.gamma, p.recovery_intervals, p.decrease_depth,
+         "-" if p.victim_jct is None else p.victim_jct,
+         "-" if p.antagonist_ops_per_s is None else p.antagonist_ops_per_s]
+        for p in points
+    ]
+    print(render_table(headers, rows, title="β/γ sensitivity sweep"))
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump([_to_jsonable(p) for p in points], fh, indent=2)
+        print(f"\nraw result written to {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser."""
     parser = argparse.ArgumentParser(
@@ -136,7 +195,25 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("list", help="list reproducible figures")
     demo = sub.add_parser("demo", help="run the quickstart scenario")
     demo.add_argument("--seed", type=int, default=7)
-    for name, (_, desc, supports_full) in _FIGURES.items():
+    sweep = sub.add_parser(
+        "sweep",
+        help="β/γ sensitivity sweep (closed-loop grid, or --analytic)",
+    )
+    sweep.add_argument("--betas", type=_csv_floats, default=(0.5, 0.65, 0.8),
+                       metavar="B1,B2,...", help="β grid (comma-separated)")
+    sweep.add_argument("--gammas", type=_csv_floats,
+                       default=(0.001, 0.005, 0.02),
+                       metavar="G1,G2,...", help="γ grid (comma-separated)")
+    sweep.add_argument("--seeds", type=_csv_ints, default=(3, 7),
+                       metavar="S1,S2,...", help="seeds per grid point")
+    sweep.add_argument("--size-mb", type=float, default=960.0,
+                       help="terasort input size per run")
+    sweep.add_argument("--analytic", action="store_true",
+                       help="analytic K/depth only — no simulation")
+    sweep.add_argument("--json", metavar="PATH", default=None,
+                       help="dump the raw sweep points as JSON")
+    _add_parallel_args(sweep)
+    for name, (_, desc, supports_full, supports_parallel) in _FIGURES.items():
         p = sub.add_parser(name, help=desc)
         p.add_argument("--seed", type=int, default=7)
         p.add_argument("--json", metavar="PATH", default=None,
@@ -144,6 +221,8 @@ def build_parser() -> argparse.ArgumentParser:
         if supports_full:
             p.add_argument("--full-scale", action="store_true",
                            help="use the paper's exact dimensions (slow)")
+        if supports_parallel:
+            _add_parallel_args(p)
     return parser
 
 
@@ -152,13 +231,16 @@ def main(argv=None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command in (None, "list"):
-        rows = [[n, d] for n, (_, d, _) in _FIGURES.items()]
+        rows = [[n, d] for n, (_, d, _, _) in _FIGURES.items()]
         print(render_table(["command", "reproduces"], rows))
-        print("\nalso: `demo` — the quickstart scenario")
+        print("\nalso: `demo` — the quickstart scenario;"
+              " `sweep` — the β/γ sensitivity grid")
         return 0
     if args.command == "demo":
         return _run_demo(args)
-    runner, _, _ = _FIGURES[args.command]
+    if args.command == "sweep":
+        return _run_sweep(args)
+    runner, _, _, _ = _FIGURES[args.command]
     result = runner(args)
     _print_result(args.command, result)
     if getattr(args, "json", None):

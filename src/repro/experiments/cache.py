@@ -1,0 +1,214 @@
+"""Content-addressed on-disk cache for experiment results.
+
+Every simulation run in this package is a pure function of its task
+description (a config dataclass plus a seed) and the simulator code
+itself, so results can be memoized across invocations: re-running a
+sweep or figure only pays for the grid points that were never computed
+(or whose code has since changed).
+
+Keys are a SHA-256 over a canonical JSON encoding of the task plus a
+digest of the ``repro`` package sources (the *code version*), so
+
+* two structurally equal task dataclasses map to the same key in any
+  process (no dependence on ``PYTHONHASHSEED`` or object identity);
+* perturbing any field — a β, a seed, a size — changes the key; and
+* editing any ``repro/**.py`` file invalidates the whole cache.
+
+Entries are pickle files written atomically (temp file + ``os.replace``)
+so concurrent writers from a process pool never expose half-written
+entries; unreadable or truncated entries are treated as misses, never
+errors.
+
+Layout::
+
+    <cache_dir>/<key[:2]>/<key>.pkl
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Iterator, Optional, Tuple
+
+__all__ = [
+    "ResultCache",
+    "canonicalize",
+    "code_version",
+    "stable_hash",
+    "task_key",
+]
+
+#: Bump to invalidate every cache entry independently of source changes
+#: (e.g. when the pickle layout of results changes incompatibly).
+CACHE_FORMAT = 1
+
+_code_version: Optional[str] = None
+
+
+def canonicalize(obj: Any) -> Any:
+    """Reduce ``obj`` to a deterministic JSON-able structure.
+
+    Dataclasses become ``(qualname, fields)`` pairs; dict keys are
+    stringified and sorted; callables are named by module+qualname;
+    arbitrary objects fall back to ``(qualname, vars(obj))``.  Raises
+    :class:`TypeError` for values with no stable representation rather
+    than silently producing an unstable key.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "fields": {
+                f.name: canonicalize(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, dict):
+        return {"__dict__": sorted(
+            (str(k), canonicalize(v)) for k, v in obj.items()
+        )}
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (str, bool, type(None))):
+        return obj
+    if isinstance(obj, (int, float)):
+        # Covers numpy scalars too (they subclass neither, but convert).
+        return float(obj) if isinstance(obj, float) else int(obj)
+    if hasattr(obj, "item") and callable(obj.item):  # numpy scalar
+        return canonicalize(obj.item())
+    if callable(obj):
+        return {"__callable__": f"{obj.__module__}.{obj.__qualname__}"}
+    if hasattr(obj, "__dict__"):
+        return {
+            "__object__": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "state": canonicalize(vars(obj)),
+        }
+    raise TypeError(f"cannot build a stable cache key from {obj!r}")
+
+
+def stable_hash(obj: Any) -> str:
+    """Hex SHA-256 of the canonical JSON encoding of ``obj``."""
+    payload = json.dumps(canonicalize(obj), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def code_version() -> str:
+    """Digest of every ``repro/**.py`` source file (computed once).
+
+    Any source edit changes this value, invalidating all cached results
+    — the conservative rule: simulations are cheap relative to debugging
+    a stale-cache discrepancy.
+    """
+    global _code_version
+    if _code_version is None:
+        import repro
+
+        root = Path(repro.__file__).resolve().parent
+        digest = hashlib.sha256()
+        for path in sorted(root.rglob("*.py")):
+            digest.update(path.relative_to(root).as_posix().encode("utf-8"))
+            digest.update(path.read_bytes())
+        _code_version = digest.hexdigest()[:16]
+    return _code_version
+
+
+def task_key(task: Any, *, seed: Optional[int] = None,
+             code: Optional[str] = None) -> str:
+    """Cache key for one experiment task.
+
+    ``seed`` is for runners whose seed is not a field of ``task``;
+    ``code`` overrides the source digest (tests use this to model a
+    code change without editing files).
+    """
+    return stable_hash({
+        "format": CACHE_FORMAT,
+        "code": code if code is not None else code_version(),
+        "seed": seed,
+        "task": canonicalize(task),
+    })
+
+
+class ResultCache:
+    """Pickle-backed result store addressed by :func:`task_key` keys."""
+
+    def __init__(self, root: os.PathLike | str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        #: Lookup counters for this handle (diagnostics, not persisted).
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        """Entry path for ``key`` (two-level fan-out keeps dirs small)."""
+        return self.root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit; ``(False, None)`` otherwise.
+
+        A corrupt entry (truncated file, unpicklable payload, renamed
+        result class...) counts as a miss and is deleted so the slot is
+        recomputed cleanly.
+        """
+        path = self.path_for(key)
+        try:
+            with path.open("rb") as fh:
+                value = pickle.load(fh)
+        except FileNotFoundError:
+            self.misses += 1
+            return False, None
+        except Exception:
+            # Corruption tolerance: recompute instead of crashing.
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            self.misses += 1
+            return False, None
+        self.hits += 1
+        return True, value
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every stored entry."""
+        for path in self.root.glob("??/*.pkl"):
+            yield path.stem
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        for path in list(self.root.glob("??/*.pkl")):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ResultCache(root={str(self.root)!r}, entries={len(self)}, "
+                f"hits={self.hits}, misses={self.misses})")

@@ -14,14 +14,16 @@ argument away.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PerfCloudConfig
 from repro.core.cubic import CubicController
 from repro.core.policies import StaticCapPolicy
+from repro.experiments.cache import ResultCache
 from repro.experiments.harness import Testbed, TestbedConfig, build_testbed
+from repro.experiments.parallel import Progress, run_many
 from repro.frameworks.cloning import DollyCloner
 from repro.frameworks.jobs import Job
 from repro.frameworks.speculation import LateSpeculation, NoSpeculation
@@ -102,6 +104,49 @@ def _mean_jct(kind, bench, seeds, **kw) -> float:
 
 
 # --------------------------------------------------------------------------
+# parallel fan-out machinery
+#
+# Each figure's unit of repetition (one job at one seed, one fig-9 scheme
+# run, one fig-11 mix...) is captured as a frozen, picklable task
+# dataclass with a module-level runner returning plain data, so the whole
+# repetition set can be dispatched through ``run_many`` — serially
+# (workers=0, the default: byte-identical to the historical loops),
+# across a process pool, and/or against an on-disk result cache.
+# --------------------------------------------------------------------------
+
+def _fan_out(tasks, runner, *, workers=0, cache_dir=None, progress=None):
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    return run_many(tasks, runner, workers=workers, cache=cache,
+                    progress=progress)
+
+
+@dataclass(frozen=True)
+class _JobTask:
+    """One benchmark job on a one-host testbed (figs. 1 and 2)."""
+
+    kind: str
+    bench: str
+    seed: int
+    size_mb: float
+    antagonists: Tuple[Tuple[str, Optional[int]], ...] = ()
+    fio_cap_frac: Optional[float] = None
+    #: Also report the fio antagonist's mean IOPS over the run.
+    collect_fio: bool = False
+
+
+def _job_task_runner(task: _JobTask) -> Tuple[float, Optional[float]]:
+    testbed, job = _run_job(
+        task.kind, task.bench, seed=task.seed, size_mb=task.size_mb,
+        antagonists=task.antagonists, fio_cap_frac=task.fio_cap_frac,
+    )
+    iops = None
+    if task.collect_fio and "fio" in testbed.antagonist_drivers:
+        drv = testbed.antagonist_drivers["fio"]
+        iops = drv.iops.total / testbed.sim.now
+    return job.completion_time, iops
+
+
+# --------------------------------------------------------------------------
 # Fig. 1 — I/O interference vs. cap on the fio antagonist
 # --------------------------------------------------------------------------
 
@@ -127,56 +172,64 @@ def fig1(
     spark_benchmarks: Sequence[str] = _SPARK_DEFAULT,
     caps: Sequence[Optional[float]] = (None, 1.0, 0.5, 0.2, 0.1),
     size_mb: float = 640.0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
 ) -> Fig1Result:
     """Job performance vs. I/O cap applied to a colocated fio VM.
 
     ``caps`` entries: None = fio absent (the normalization baseline);
     1.0 = colocated and uncapped; fractions = static blkio caps relative
     to fio's solo throughput.
+
+    Every (benchmark, cap, seed) job is independent; ``workers``/
+    ``cache_dir`` fan them out through the parallel engine (0 = serial).
     """
     mr_out: Dict[str, List[float]] = {}
     spark_out: Dict[str, List[float]] = {}
     fio_iops: List[float] = []
 
-    def jct(kind, bench, cap):
-        ant = () if cap is None else (("fio", None),)
-        frac = None if cap in (None, 1.0) else cap
+    def make_task(kind, bench, cap, seed) -> _JobTask:
+        return _JobTask(
+            kind=kind, bench=bench, seed=seed, size_mb=size_mb,
+            antagonists=() if cap is None else (("fio", None),),
+            fio_cap_frac=None if cap in (None, 1.0) else cap,
+            collect_fio=cap is not None,
+        )
+
+    groups = [(kind, bench, cap)
+              for kind, benchmarks in (("mapreduce", mr_benchmarks),
+                                       ("spark", spark_benchmarks))
+              for bench in benchmarks for cap in caps]
+    tasks = [make_task(kind, bench, cap, s)
+             for kind, bench, cap in groups for s in seeds]
+    outcomes = iter(_fan_out(tasks, _job_task_runner, workers=workers,
+                             cache_dir=cache_dir, progress=progress))
+
+    def jct(cap):
         total = 0.0
         iops_acc = 0.0
-        for s in seeds:
-            testbed, job = _run_job(
-                kind, bench, seed=s, size_mb=size_mb,
-                antagonists=ant, fio_cap_frac=frac,
-            )
-            total += job.completion_time
+        for _ in seeds:
+            completion_time, iops = next(outcomes)
+            total += completion_time
             if cap is not None:
-                drv = testbed.antagonist_drivers["fio"]
-                iops_acc += drv.iops.total / testbed.sim.now
+                iops_acc += iops
         return total / len(seeds), (iops_acc / len(seeds) if cap is not None else None)
 
     fio_rates: Dict[Optional[float], List[float]] = {c: [] for c in caps}
-    for bench in mr_benchmarks:
-        series = []
-        base = None
-        for cap in caps:
-            mean_jct, mean_iops = jct("mapreduce", bench, cap)
-            if cap is None:
-                base = mean_jct
-            series.append(mean_jct)
-            if mean_iops is not None:
-                fio_rates[cap].append(mean_iops)
-        mr_out[bench] = [v / base for v in series]
-    for bench in spark_benchmarks:
-        series = []
-        base = None
-        for cap in caps:
-            mean_jct, mean_iops = jct("spark", bench, cap)
-            if cap is None:
-                base = mean_jct
-            series.append(mean_jct)
-            if mean_iops is not None:
-                fio_rates[cap].append(mean_iops)
-        spark_out[bench] = [v / base for v in series]
+    for kind, out in (("mapreduce", mr_out), ("spark", spark_out)):
+        benchmarks = mr_benchmarks if kind == "mapreduce" else spark_benchmarks
+        for bench in benchmarks:
+            series = []
+            base = None
+            for cap in caps:
+                mean_jct, mean_iops = jct(cap)
+                if cap is None:
+                    base = mean_jct
+                series.append(mean_jct)
+                if mean_iops is not None:
+                    fio_rates[cap].append(mean_iops)
+            out[bench] = [v / base for v in series]
 
     full = np.mean(fio_rates[1.0]) if fio_rates.get(1.0) else 1.0
     for cap in caps:
@@ -226,24 +279,34 @@ def fig2(
     mr_benchmarks: Sequence[str] = _MR_DEFAULT,
     spark_benchmarks: Sequence[str] = _SPARK_DEFAULT,
     size_mb: float = 640.0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
 ) -> Fig2Result:
     """Degradation from a colocated memory-intensive STREAM VM."""
+    tasks = [
+        _JobTask(kind=kind, bench=bench, seed=s, size_mb=size_mb,
+                 antagonists=ants)
+        for kind, benchmarks in (("mapreduce", mr_benchmarks),
+                                 ("spark", spark_benchmarks))
+        for bench in benchmarks
+        for ants in ((), (("stream", None),))
+        for s in seeds
+    ]
+    outcomes = iter(_fan_out(tasks, _job_task_runner, workers=workers,
+                             cache_dir=cache_dir, progress=progress))
+
+    def mean_jct() -> float:
+        return float(np.mean([next(outcomes)[0] for _ in seeds]))
+
     mr_out = {}
     spark_out = {}
-    for bench in mr_benchmarks:
-        alone = _mean_jct("mapreduce", bench, seeds, size_mb=size_mb)
-        coloc = _mean_jct(
-            "mapreduce", bench, seeds, size_mb=size_mb,
-            antagonists=(("stream", None),),
-        )
-        mr_out[bench] = coloc / alone
-    for bench in spark_benchmarks:
-        alone = _mean_jct("spark", bench, seeds, size_mb=size_mb)
-        coloc = _mean_jct(
-            "spark", bench, seeds, size_mb=size_mb,
-            antagonists=(("stream", None),),
-        )
-        spark_out[bench] = coloc / alone
+    for kind, out in (("mapreduce", mr_out), ("spark", spark_out)):
+        benchmarks = mr_benchmarks if kind == "mapreduce" else spark_benchmarks
+        for bench in benchmarks:
+            alone = mean_jct()
+            coloc = mean_jct()
+            out[bench] = coloc / alone
     return Fig2Result(mr_normalized_jct=mr_out, spark_normalized_jct=spark_out)
 
 
@@ -679,20 +742,45 @@ def _fig9_run(scheme: str, seed: int, size_mb: float) -> tuple:
     return job.completion_time, sig_io, sig_cpi, ant_work, nm
 
 
+@dataclass(frozen=True)
+class _Fig9Task:
+    """One scheme × seed run of the Fig. 9 scenario."""
+
+    scheme: str
+    seed: int
+    size_mb: float
+
+
+def _fig9_task_runner(task: _Fig9Task) -> tuple:
+    # Drop the node manager (an unpicklable object graph); fig10 calls
+    # _fig9_run directly because it needs it.
+    jct, sig_io, sig_cpi, ant_work, _ = _fig9_run(
+        task.scheme, task.seed, task.size_mb
+    )
+    return jct, sig_io, sig_cpi, ant_work
+
+
 def fig9(
     seeds: Sequence[int] = (3, 7, 11),
     *,
     size_mb: float = 1280.0,
     schemes: Sequence[str] = ("default", "static", "perfcloud"),
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
 ) -> Fig9Result:
     """Small-scale dynamic-control comparison (Spark LR, 12 workers)."""
+    tasks = [_Fig9Task(scheme=scheme, seed=s, size_mb=size_mb)
+             for scheme in schemes for s in seeds]
+    outcomes = iter(_fan_out(tasks, _fig9_task_runner, workers=workers,
+                             cache_dir=cache_dir, progress=progress))
     jct = {}
     improvement = {}
     io_signal = {}
     cpi_signal = {}
     ant_work: Dict[str, Dict[str, float]] = {}
     for scheme in schemes:
-        runs = [_fig9_run(scheme, s, size_mb) for s in seeds]
+        runs = [next(outcomes) for _ in seeds]
         jct[scheme] = float(np.mean([r[0] for r in runs]))
         io_signal[scheme] = runs[0][1]
         cpi_signal[scheme] = runs[0][2]
@@ -865,6 +953,31 @@ def _run_mix(
     return jcts, efficiency
 
 
+@dataclass(frozen=True)
+class _MixTask:
+    """One scheme's full workload-mix run (Fig. 11)."""
+
+    scheme: str
+    seed: int
+    num_hosts: int
+    num_workers: int
+    num_mr_jobs: int
+    num_spark_jobs: int
+    num_antagonist_pairs: int
+    mean_interarrival_s: float
+    horizon: float
+
+
+def _mix_task_runner(task: _MixTask) -> tuple:
+    return _run_mix(
+        task.scheme, task.seed,
+        num_hosts=task.num_hosts, num_workers=task.num_workers,
+        num_mr_jobs=task.num_mr_jobs, num_spark_jobs=task.num_spark_jobs,
+        num_antagonist_pairs=task.num_antagonist_pairs,
+        mean_interarrival_s=task.mean_interarrival_s, horizon=task.horizon,
+    )
+
+
 def fig11(
     seed: int = 7,
     *,
@@ -876,6 +989,9 @@ def fig11(
     num_antagonist_pairs: int = 5,
     mean_interarrival_s: float = 20.0,
     horizon: float = 12000.0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
 ) -> Fig11Result:
     """Large-scale comparison: per-job degradation and efficiency.
 
@@ -893,13 +1009,17 @@ def fig11(
         num_antagonist_pairs=num_antagonist_pairs,
         mean_interarrival_s=mean_interarrival_s, horizon=horizon,
     )
-    ideal_jcts, _ = _run_mix("ideal", seed, **kwargs)
+    tasks = [_MixTask(scheme=s, seed=seed, **kwargs)
+             for s in ("ideal", *schemes)]
+    outcomes = iter(_fan_out(tasks, _mix_task_runner, workers=workers,
+                             cache_dir=cache_dir, progress=progress))
+    ideal_jcts, _ = next(outcomes)
 
     mr_deg: Dict[str, List[float]] = {}
     spark_deg: Dict[str, List[float]] = {}
     efficiency: Dict[str, float] = {}
     for scheme in schemes:
-        jcts, eff = _run_mix(scheme, seed, **kwargs)
+        jcts, eff = next(outcomes)
         efficiency[scheme] = eff
         mr_deg[scheme] = []
         spark_deg[scheme] = []
@@ -928,6 +1048,64 @@ class Fig12Result:
     logreg: Dict[str, dict]
 
 
+@dataclass(frozen=True)
+class _Fig12Task:
+    """One repeated-execution run (Fig. 12): scheme × kind × seed."""
+
+    scheme: str
+    kind: str  # "terasort" | "logreg"
+    seed: int
+    num_hosts: int
+    num_workers: int
+    tasks: int
+    num_antagonist_pairs: int
+    horizon: float
+
+
+def _fig12_task_runner(task: _Fig12Task) -> Optional[float]:
+    size_mb = task.tasks * 64.0
+    speculation = LateSpeculation() if task.scheme == "late" else None
+    clones = {"dolly-2": 2, "dolly-4": 4, "dolly-6": 6}.get(task.scheme, 1)
+    framework = "mapreduce" if task.kind == "terasort" else "spark"
+    testbed = build_testbed(
+        TestbedConfig(seed=task.seed, num_hosts=task.num_hosts,
+                      num_workers=task.num_workers, framework=framework,
+                      speculation=speculation, scheduler_policy="fair")
+    )
+    if task.scheme != "ideal":
+        hosts = sorted(testbed.cluster.hosts)
+        arng = testbed.sim.rng.stream("antagonist-placement")
+        for i in range(task.num_antagonist_pairs):
+            testbed.add_antagonist(
+                f"fio-{i}", "fio", host=hosts[int(arng.integers(len(hosts)))])
+            testbed.add_antagonist(
+                f"stream-{i}", "stream",
+                host=hosts[int(arng.integers(len(hosts)))])
+    if task.scheme == "perfcloud":
+        testbed.deploy_perfcloud()
+    if task.kind == "terasort":
+        spec = PUMA_BENCHMARKS["terasort"]()
+        if clones > 1:
+            cloner = DollyCloner(testbed.jobtracker, clones)
+            handle = cloner.submit(
+                lambda tag: testbed.jobtracker.submit(
+                    spec, teragen(size_mb), task.tasks, clone_of=tag))
+        else:
+            handle = testbed.jobtracker.submit(
+                spec, teragen(size_mb), task.tasks)
+    else:
+        spec = SPARKBENCH_BENCHMARKS["logistic-regression"]()
+        ds = sparkbench_synthetic("lr", size_mb)
+        if clones > 1:
+            cloner = DollyCloner(testbed.spark, clones)
+            handle = cloner.submit(
+                lambda tag: testbed.spark.submit(spec, ds, clone_of=tag))
+        else:
+            handle = testbed.spark.submit(spec, ds)
+    testbed.run(task.horizon)
+    return handle.completion_time
+
+
 def fig12(
     *,
     repeats: int = 10,
@@ -938,67 +1116,42 @@ def fig12(
     num_antagonist_pairs: int = 5,
     base_seed: int = 100,
     horizon: float = 8000.0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
 ) -> Fig12Result:
     """JCT spread over repeated executions with random antagonist placement.
 
     The paper repeats 30 times on 15 servers; the default is a 10-repeat /
     5-server scale model.
     """
-    size_mb = tasks * 64.0
     out: Dict[str, Dict[str, list]] = {
         s: {"terasort": [], "logreg": []} for s in schemes
     }
-    ideals: Dict[str, float] = {}
 
-    def one(scheme: str, kind: str, seed: int) -> Optional[float]:
-        speculation = LateSpeculation() if scheme == "late" else None
-        clones = {"dolly-2": 2, "dolly-4": 4, "dolly-6": 6}.get(scheme, 1)
-        framework = "mapreduce" if kind == "terasort" else "spark"
-        testbed = build_testbed(
-            TestbedConfig(seed=seed, num_hosts=num_hosts,
-                          num_workers=num_workers, framework=framework,
-                          speculation=speculation, scheduler_policy="fair")
+    def make_task(scheme: str, kind: str, seed: int) -> _Fig12Task:
+        return _Fig12Task(
+            scheme=scheme, kind=kind, seed=seed, num_hosts=num_hosts,
+            num_workers=num_workers, tasks=tasks,
+            num_antagonist_pairs=num_antagonist_pairs, horizon=horizon,
         )
-        if scheme != "ideal":
-            hosts = sorted(testbed.cluster.hosts)
-            arng = testbed.sim.rng.stream("antagonist-placement")
-            for i in range(num_antagonist_pairs):
-                testbed.add_antagonist(
-                    f"fio-{i}", "fio", host=hosts[int(arng.integers(len(hosts)))])
-                testbed.add_antagonist(
-                    f"stream-{i}", "stream",
-                    host=hosts[int(arng.integers(len(hosts)))])
-        if scheme == "perfcloud":
-            testbed.deploy_perfcloud()
-        if kind == "terasort":
-            spec = PUMA_BENCHMARKS["terasort"]()
-            if clones > 1:
-                cloner = DollyCloner(testbed.jobtracker, clones)
-                handle = cloner.submit(
-                    lambda tag: testbed.jobtracker.submit(
-                        spec, teragen(size_mb), tasks, clone_of=tag))
-            else:
-                handle = testbed.jobtracker.submit(spec, teragen(size_mb), tasks)
-        else:
-            spec = SPARKBENCH_BENCHMARKS["logistic-regression"]()
-            ds = sparkbench_synthetic("lr", size_mb)
-            if clones > 1:
-                cloner = DollyCloner(testbed.spark, clones)
-                handle = cloner.submit(
-                    lambda tag: testbed.spark.submit(spec, ds, clone_of=tag))
-            else:
-                handle = testbed.spark.submit(spec, ds)
-        testbed.run(horizon)
-        return handle.completion_time
 
+    run_tasks = []
     for kind in ("terasort", "logreg"):
-        ideal = one("ideal", kind, base_seed)
-        if ideal is None:
-            raise RuntimeError("fig12 ideal run did not finish")
-        ideals[kind] = ideal
+        run_tasks.append(make_task("ideal", kind, base_seed))
         for scheme in schemes:
             for r in range(repeats):
-                jct = one(scheme, kind, base_seed + 1 + r)
+                run_tasks.append(make_task(scheme, kind, base_seed + 1 + r))
+    outcomes = iter(_fan_out(run_tasks, _fig12_task_runner, workers=workers,
+                             cache_dir=cache_dir, progress=progress))
+
+    for kind in ("terasort", "logreg"):
+        ideal = next(outcomes)
+        if ideal is None:
+            raise RuntimeError("fig12 ideal run did not finish")
+        for scheme in schemes:
+            for r in range(repeats):
+                jct = next(outcomes)
                 if jct is not None:
                     out[scheme][kind].append(jct / ideal)
     return Fig12Result(

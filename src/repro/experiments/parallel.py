@@ -1,0 +1,186 @@
+"""Deterministic fan-out of independent experiment runs.
+
+:func:`run_many` dispatches a list of task descriptions to a runner
+callable, optionally across a :class:`~concurrent.futures.ProcessPoolExecutor`
+and optionally backed by a :class:`~repro.experiments.cache.ResultCache`.
+Three properties make it safe to drop under any existing serial loop:
+
+* **Order preservation** — results come back in submission order, so a
+  caller that aggregates sequentially produces output byte-identical to
+  the serial path regardless of completion order.
+* **In-process fallback** — ``workers=0`` runs everything in the calling
+  process with no executor at all: tests and debuggers see ordinary
+  stack traces and module-level counters keep working.
+* **Crash surfacing** — an exception inside a worker (including a hard
+  pool breakage) is re-raised in the parent as :class:`WorkerError`
+  carrying the task index and description, never swallowed.
+
+Tasks and the runner must be picklable when ``workers > 0``; frozen
+dataclasses defined at module scope plus a module-level runner function
+are the intended shape.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional, Sequence
+
+from repro.experiments.cache import ResultCache, task_key
+
+__all__ = ["Progress", "RunReport", "WorkerError", "run_many", "run_many_report"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Progress:
+    """Snapshot of a :func:`run_many` invocation, passed to ``progress``.
+
+    ``done`` counts resolved tasks (executed or cache hits); ``executed``
+    counts tasks actually dispatched to the runner — a warm-cache re-run
+    finishes with ``executed == 0``.
+    """
+
+    done: int
+    total: int
+    executed: int
+    cached: int
+    elapsed: float
+
+
+@dataclass
+class RunReport:
+    """Results plus execution accounting from :func:`run_many_report`."""
+
+    results: List[Any]
+    executed: int
+    cached: int
+    elapsed: float
+
+
+class WorkerError(RuntimeError):
+    """A task's runner raised (or its worker process died).
+
+    Carries ``index`` (position in the submitted task list) and ``task``
+    so sweep failures name the exact grid point; the original exception
+    is chained as ``__cause__``.
+    """
+
+    def __init__(self, index: int, task: Any, cause: BaseException) -> None:
+        super().__init__(
+            f"task {index} ({task!r}) failed: {type(cause).__name__}: {cause}"
+        )
+        self.index = index
+        self.task = task
+
+
+def run_many(
+    tasks: Sequence[Any],
+    runner: Callable[[Any], Any],
+    *,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    key_fn: Optional[Callable[[Any], str]] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
+) -> List[Any]:
+    """Run ``runner(task)`` for every task; results in submission order.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` — run in-process, serially (the debug/test path).
+        ``N > 0`` — dispatch across a process pool of ``N`` workers.
+    cache:
+        Optional result store.  Hits skip execution entirely; misses are
+        stored after the runner returns.
+    key_fn:
+        Task → cache-key function; defaults to
+        :func:`repro.experiments.cache.task_key` (stable hash of the
+        task's fields plus the code version).
+    progress:
+        Called with a :class:`Progress` snapshot as tasks resolve.
+    """
+    return run_many_report(
+        tasks, runner, workers=workers, cache=cache, key_fn=key_fn,
+        progress=progress,
+    ).results
+
+
+def run_many_report(
+    tasks: Sequence[Any],
+    runner: Callable[[Any], Any],
+    *,
+    workers: int = 0,
+    cache: Optional[ResultCache] = None,
+    key_fn: Optional[Callable[[Any], str]] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
+) -> RunReport:
+    """:func:`run_many` plus a :class:`RunReport` with run/hit counts."""
+    tasks = list(tasks)
+    total = len(tasks)
+    start = time.perf_counter()
+    results: List[Any] = [_MISSING] * total
+    keys: List[Optional[str]] = [None] * total
+
+    cached = 0
+    if cache is not None:
+        make_key = key_fn or task_key
+        for i, task in enumerate(tasks):
+            keys[i] = make_key(task)
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = value
+                cached += 1
+
+    pending = [i for i in range(total) if results[i] is _MISSING]
+    executed = 0
+    done = cached
+
+    def emit() -> None:
+        if progress is not None:
+            progress(Progress(
+                done=done, total=total, executed=executed, cached=cached,
+                elapsed=time.perf_counter() - start,
+            ))
+
+    emit()
+
+    if workers > 0 and pending:
+        executed = len(pending)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [pool.submit(runner, tasks[i]) for i in pending]
+            # Drive progress by completion order, then merge by
+            # submission order below — reporting is live, output is
+            # deterministic.
+            remaining = set(futures)
+            while remaining:
+                finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                done += len(finished)
+                emit()
+            for i, future in zip(pending, futures):
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    raise WorkerError(i, tasks[i], exc) from exc
+                results[i] = value
+                if cache is not None:
+                    cache.put(keys[i], value)
+    else:
+        for i in pending:
+            try:
+                value = runner(tasks[i])
+            except Exception as exc:
+                raise WorkerError(i, tasks[i], exc) from exc
+            executed += 1
+            results[i] = value
+            if cache is not None:
+                cache.put(keys[i], value)
+            done += 1
+            emit()
+
+    return RunReport(
+        results=results, executed=executed, cached=cached,
+        elapsed=time.perf_counter() - start,
+    )

@@ -6,9 +6,16 @@ side by side with the paper's figures; EXPERIMENTS.md archives one run.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+import sys
+from typing import List, Optional, Sequence, TextIO
 
-__all__ = ["render_table", "format_pct", "format_series"]
+__all__ = [
+    "ProgressReporter",
+    "format_elapsed",
+    "format_pct",
+    "format_series",
+    "render_table",
+]
 
 
 def format_pct(x: float, signed: bool = True) -> str:
@@ -48,3 +55,40 @@ def _fmt(value: object) -> str:
     if isinstance(value, float):
         return f"{value:.3g}"
     return str(value)
+
+
+def format_elapsed(seconds: float) -> str:
+    """Human wall-clock rendering: ``42.3s``, ``3m 07s``, ``1h 02m``."""
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(seconds), 60)
+    if minutes < 60:
+        return f"{minutes}m {secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h {minutes:02d}m"
+
+
+class ProgressReporter:
+    """Render parallel-engine progress events as one updating status line.
+
+    Accepts the :class:`~repro.experiments.parallel.Progress` snapshots
+    ``run_many`` emits (any object with ``done/total/executed/cached/
+    elapsed`` works) and rewrites a single ``\\r`` line on ``stream``
+    (stderr by default, keeping stdout clean for result tables); the
+    final event gets a newline so subsequent output starts fresh.
+    """
+
+    def __init__(self, label: str = "runs", stream: Optional[TextIO] = None) -> None:
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self._width = 0
+
+    def __call__(self, p) -> None:
+        pct = 100.0 * p.done / p.total if p.total else 100.0
+        msg = (f"{self.label}: {p.done}/{p.total} ({pct:.0f}%)"
+               f" — {p.executed} executed, {p.cached} cached,"
+               f" {format_elapsed(p.elapsed)}")
+        pad = " " * max(0, self._width - len(msg))
+        self._width = len(msg)
+        end = "\n" if p.done >= p.total else ""
+        print(f"\r{msg}{pad}", end=end, file=self.stream, flush=True)

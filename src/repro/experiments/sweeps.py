@@ -13,17 +13,30 @@ trade-off surface.  These sweeps expose it:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import PerfCloudConfig
 from repro.core.cubic import CubicController
+from repro.experiments.cache import ResultCache
 from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.experiments.parallel import Progress, run_many
 from repro.workloads.datagen import teragen
 from repro.workloads.puma import terasort
 
-__all__ = ["CubicSweepPoint", "analytic_sweep", "closed_loop_sweep"]
+__all__ = [
+    "ClosedLoopTask",
+    "CubicSweepPoint",
+    "analytic_sweep",
+    "closed_loop_sweep",
+    "run_closed_loop_point",
+]
+
+#: Closed-loop simulations executed *in this process* (test hook for the
+#: warm-cache and ``workers=0`` paths; parent-side accounting across
+#: worker processes comes from :class:`~repro.experiments.parallel.Progress`).
+POINT_RUNS = 0
 
 
 @dataclass
@@ -62,42 +75,82 @@ def analytic_sweep(
     return out
 
 
+@dataclass(frozen=True)
+class ClosedLoopTask:
+    """One independent closed-loop simulation: a (β, γ) point at one seed."""
+
+    beta: float
+    gamma: float
+    seed: int
+    size_mb: float = 960.0
+
+
+def run_closed_loop_point(task: ClosedLoopTask) -> Tuple[float, float]:
+    """Execute one grid-point simulation; returns ``(jct, ant_ops_per_s)``.
+
+    Module-level and argument-picklable so the parallel engine can ship
+    it to worker processes unchanged.
+    """
+    global POINT_RUNS
+    POINT_RUNS += 1
+    cfg = PerfCloudConfig(beta=task.beta, gamma=task.gamma)
+    testbed = build_testbed(
+        TestbedConfig(
+            seed=task.seed, num_workers=6, framework="mapreduce",
+            antagonists=(("fio", None),),
+        )
+    )
+    testbed.deploy_perfcloud(cfg)
+    job = testbed.jobtracker.submit(
+        terasort(), teragen(task.size_mb), int(task.size_mb // 64)
+    )
+    if not run_until(
+        testbed.sim, lambda: job.completion_time is not None, 8000
+    ):
+        raise RuntimeError("sweep run did not finish")
+    fio = testbed.antagonist_drivers["fio"]
+    return job.completion_time, fio.iops.total / testbed.sim.now
+
+
 def closed_loop_sweep(
     betas: Sequence[float] = (0.5, 0.8),
     gammas: Sequence[float] = (0.001, 0.005, 0.02),
     seeds: Sequence[int] = (3, 7),
     *,
     size_mb: float = 960.0,
+    workers: int = 0,
+    cache_dir: Optional[str] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
 ) -> List[CubicSweepPoint]:
     """Victim JCT and antagonist throughput across the (β, γ) grid.
 
     Small γ → slow recovery → strong protection, heavy antagonist cost;
     large γ → fast probing → lighter antagonist cost, weaker protection.
+
+    Each ``(β, γ, seed)`` point is an independent simulation, fanned out
+    via :func:`~repro.experiments.parallel.run_many`: ``workers=N`` runs
+    N simulations concurrently (0 = in-process serial), ``cache_dir``
+    memoizes per-point results on disk, and the merged output is
+    identical to the serial path whatever the completion order.
     """
+    tasks = [
+        ClosedLoopTask(beta=beta, gamma=gamma, seed=seed, size_mb=size_mb)
+        for beta in betas for gamma in gammas for seed in seeds
+    ]
+    cache = ResultCache(cache_dir) if cache_dir is not None else None
+    outcomes = run_many(
+        tasks, run_closed_loop_point, workers=workers, cache=cache,
+        progress=progress,
+    )
+
     out = []
+    per_point = iter(outcomes)
     for beta in betas:
         for gamma in gammas:
             cfg = PerfCloudConfig(beta=beta, gamma=gamma)
-            jcts = []
-            ant_rates = []
-            for seed in seeds:
-                testbed = build_testbed(
-                    TestbedConfig(
-                        seed=seed, num_workers=6, framework="mapreduce",
-                        antagonists=(("fio", None),),
-                    )
-                )
-                testbed.deploy_perfcloud(cfg)
-                job = testbed.jobtracker.submit(
-                    terasort(), teragen(size_mb), int(size_mb // 64)
-                )
-                if not run_until(
-                    testbed.sim, lambda: job.completion_time is not None, 8000
-                ):
-                    raise RuntimeError("sweep run did not finish")
-                jcts.append(job.completion_time)
-                fio = testbed.antagonist_drivers["fio"]
-                ant_rates.append(fio.iops.total / testbed.sim.now)
+            point = [next(per_point) for _ in seeds]
+            jcts = [jct for jct, _ in point]
+            ant_rates = [rate for _, rate in point]
             controller = CubicController(cfg)
             out.append(
                 CubicSweepPoint(

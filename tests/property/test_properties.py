@@ -9,6 +9,7 @@ from hypothesis import strategies as st
 
 from repro.core.config import PerfCloudConfig
 from repro.core.cubic import CubicController
+from repro.sim.engine import Simulator
 from repro.hardware.cpu import allocate_cpu
 from repro.hardware.disk import BlockDevice, DiskRequest
 from repro.hardware.network import Flow, NetworkFabric
@@ -340,6 +341,98 @@ def test_memsys_invariants(n, ws, bw, cores, seed):
         assert o.cpi > 0
         assert 0.0 <= o.extra_miss_factor <= 1.0
         assert 0.0 <= o.bw_stall < 1.0
+
+
+# ------------------------------------------------------------------ sim engine
+
+@given(
+    priorities=st.lists(st.integers(min_value=-5, max_value=5),
+                        min_size=1, max_size=30),
+    at=st.floats(min_value=0.0, max_value=1e4, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_equal_time_events_fire_in_priority_seq_order(priorities, at):
+    """Same-instant events fire in (priority, seq) order — seq being the
+    scheduling order, so ties are resolved first-scheduled-first."""
+    sim = Simulator(dt=1.0, seed=0)
+    fired = []
+    for i, priority in enumerate(priorities):
+        sim.schedule_at(at, (lambda i=i: fired.append(i)), priority=priority)
+    sim.run(at)
+    expected = [i for i, _ in sorted(enumerate(priorities),
+                                     key=lambda pair: (pair[1], pair[0]))]
+    assert fired == expected
+
+
+@given(
+    times=st.lists(
+        st.tuples(st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                  st.integers(min_value=-3, max_value=3)),
+        min_size=1, max_size=30),
+)
+@settings(max_examples=200, deadline=None)
+def test_events_fire_in_time_priority_seq_order(times):
+    """The full ordering guarantee: (time, priority, seq), totally ordered."""
+    sim = Simulator(dt=1.0, seed=0)
+    fired = []
+    for i, (t, priority) in enumerate(times):
+        sim.schedule_at(t, (lambda i=i: fired.append(i)), priority=priority)
+    sim.run(101.0)
+    expected = [i for i, (t, p) in sorted(
+        enumerate(times), key=lambda pair: (pair[1][0], pair[1][1], pair[0]))]
+    assert fired == expected
+    # events_fired excludes the TICK_PRIORITY (0) slot reserved for the
+    # fluid tick.
+    assert sim.events_fired == sum(1 for _, p in times if p != 0)
+
+
+@given(
+    interval=st.floats(min_value=0.1, max_value=10.0),
+    stop_after=st.integers(min_value=1, max_value=5),
+    extra_horizons=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=200, deadline=None)
+def test_periodic_stop_inside_own_callback_never_rearms(
+    interval, stop_after, extra_horizons
+):
+    """PeriodicTask.stop() called from the task's own callback must take
+    effect immediately: no further firings, however long the sim runs."""
+    sim = Simulator(dt=1.0, seed=0)
+    count = 0
+
+    def callback():
+        nonlocal count
+        count += 1
+        if count >= stop_after:
+            task.stop()
+
+    task = sim.every(interval, callback)
+    sim.run(interval * (stop_after + 2))
+    assert count == stop_after
+    assert task.stopped
+    sim.run_for(interval * extra_horizons)
+    assert count == stop_after
+
+
+@given(
+    interval=st.floats(min_value=0.1, max_value=5.0),
+    fires=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=100, deadline=None)
+def test_periodic_stopiteration_equivalent_to_stop(interval, fires):
+    sim = Simulator(dt=1.0, seed=0)
+    count = 0
+
+    def callback():
+        nonlocal count
+        count += 1
+        if count >= fires:
+            raise StopIteration
+
+    task = sim.every(interval, callback)
+    sim.run(interval * (fires + 3))
+    assert count == fires
+    assert task.stopped
 
 
 @given(

@@ -1,0 +1,154 @@
+"""Unit tests for the on-disk result cache (`experiments.cache`)."""
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import PerfCloudConfig
+from repro.experiments.cache import (
+    ResultCache,
+    canonicalize,
+    code_version,
+    stable_hash,
+    task_key,
+)
+from repro.experiments.sweeps import ClosedLoopTask
+
+
+@dataclass(frozen=True)
+class _Cfg:
+    alpha: float = 1.0
+    name: str = "x"
+    seeds: tuple = (1, 2)
+
+
+# ---------------------------------------------------------------------- keys
+
+def test_key_equal_for_structurally_equal_configs():
+    assert task_key(_Cfg()) == task_key(_Cfg(alpha=1.0, name="x", seeds=(1, 2)))
+
+
+@pytest.mark.parametrize("perturbed", [
+    _Cfg(alpha=1.0000001),
+    _Cfg(name="y"),
+    _Cfg(seeds=(1, 3)),
+    _Cfg(seeds=(1, 2, 3)),
+])
+def test_key_changes_on_any_field_perturbation(perturbed):
+    assert task_key(perturbed) != task_key(_Cfg())
+
+
+def test_key_distinguishes_seed_and_code_version():
+    base = task_key(_Cfg(), seed=1)
+    assert task_key(_Cfg(), seed=2) != base
+    assert task_key(_Cfg(), seed=1, code="other") != base
+
+
+def test_key_covers_nested_dataclasses_and_callables():
+    cfg = PerfCloudConfig(beta=0.8)
+    assert task_key(cfg) != task_key(PerfCloudConfig(beta=0.5))
+    # Callables key by qualified name, not object identity.
+    assert stable_hash(task_key) == stable_hash(task_key)
+    assert stable_hash(task_key) != stable_hash(stable_hash)
+
+
+def test_canonicalize_sorts_dict_keys():
+    assert canonicalize({"b": 1, "a": 2}) == canonicalize({"a": 2, "b": 1})
+
+
+def test_canonicalize_rejects_unstable_objects():
+    with pytest.raises(TypeError):
+        canonicalize(object())
+
+
+def test_code_version_is_cached_and_nonempty():
+    assert code_version()
+    assert code_version() == code_version()
+
+
+def test_key_stable_across_processes():
+    """The same task hashes identically in a fresh interpreter, even under
+    a different ``PYTHONHASHSEED`` (keys must not depend on ``hash()``)."""
+    task = ClosedLoopTask(beta=0.8, gamma=0.005, seed=7, size_mb=960.0)
+    here = task_key(task)
+    script = (
+        "from repro.experiments.cache import task_key\n"
+        "from repro.experiments.sweeps import ClosedLoopTask\n"
+        "print(task_key(ClosedLoopTask(beta=0.8, gamma=0.005, seed=7,"
+        " size_mb=960.0)))\n"
+    )
+    env = dict(os.environ, PYTHONHASHSEED="12345")
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(Path(__file__).resolve().parents[2] / "src"),
+                    env.get("PYTHONPATH")) if p
+    )
+    out = subprocess.run(
+        [sys.executable, "-c", script], env=env, check=True,
+        capture_output=True, text=True,
+    )
+    assert out.stdout.strip() == here
+
+
+# --------------------------------------------------------------------- store
+
+def test_roundtrip_hit_and_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(_Cfg())
+    hit, _ = cache.get(key)
+    assert not hit
+    cache.put(key, {"jct": 42.0})
+    hit, value = cache.get(key)
+    assert hit and value == {"jct": 42.0}
+    assert key in cache
+    assert list(cache.keys()) == [key]
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_perturbed_config_misses(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(task_key(_Cfg()), "result")
+    hit, _ = cache.get(task_key(_Cfg(alpha=2.0)))
+    assert not hit
+
+
+def test_truncated_entry_is_a_miss_not_a_crash(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(_Cfg())
+    cache.put(key, list(range(1000)))
+    path = cache.path_for(key)
+    path.write_bytes(path.read_bytes()[: 10])  # simulate a torn write
+    hit, _ = cache.get(key)
+    assert not hit
+    assert not path.exists()  # corrupt entry cleaned up
+    # The slot is recomputable afterwards.
+    cache.put(key, "fresh")
+    assert cache.get(key) == (True, "fresh")
+
+
+def test_garbage_bytes_entry_is_a_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(_Cfg())
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"\x00not a pickle")
+    hit, _ = cache.get(key)
+    assert not hit
+
+
+def test_clear_removes_all_entries(tmp_path):
+    cache = ResultCache(tmp_path)
+    for i in range(3):
+        cache.put(task_key(_Cfg(alpha=float(i))), i)
+    assert len(cache) == 3
+    assert cache.clear() == 3
+    assert len(cache) == 0
+
+
+def test_put_is_atomic_no_tmp_left_behind(tmp_path):
+    cache = ResultCache(tmp_path)
+    cache.put(task_key(_Cfg()), "v")
+    assert not list(tmp_path.rglob("*.tmp"))
