@@ -7,13 +7,20 @@ CACHE_DIR ?= .repro-cache
 # Run straight from the source tree — no `pip install -e .` needed.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test bench bench-full examples figures sweep clean
+.PHONY: install test chaos bench bench-full examples figures sweep clean
 
 install:
 	pip install -e .
 
 test:
 	$(PY) -m pytest -x -q
+
+# The chaos-marked acceptance tests plus one full `repro chaos` run
+# (fixed seed; exits non-zero unless the control plane survives).
+# Kept out of `make test` — see docs/ROBUSTNESS.md.
+chaos:
+	$(PY) -m pytest -x -q -m chaos
+	$(PY) -m repro chaos
 
 bench:
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -7,6 +7,7 @@
     python -m repro fig9 --seed 11
     python -m repro fig11 --full-scale   # paper-size dimensions (slow)
     python -m repro sweep --workers 4    # β/γ closed-loop sensitivity grid
+    python -m repro chaos                # Fig. 9 under fault injection
     python -m repro demo                 # the quickstart scenario
 
 Each figure command accepts ``--seed`` and prints the same tables the
@@ -152,6 +153,49 @@ def _run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from repro.experiments.chaos import (
+        ChaosScenario, default_fault_plan, run_chaos,
+    )
+
+    plan = default_fault_plan(
+        call_failure_p=args.call_failure_p,
+        connection_failure_p=args.connection_failure_p,
+        freeze_p=args.freeze_p,
+        counter_reset_period_s=args.counter_reset_period or None,
+        latency_p=args.latency_p,
+        crash_vm=args.crash_vm or None,
+        crash_at_s=args.crash_at,
+        restart_after_s=args.restart_after,
+    )
+    scenario = ChaosScenario(
+        seed=args.seed, size_mb=args.size_mb, horizon=args.horizon, plan=plan,
+    )
+    result = run_chaos(scenario)
+    print(f"== chaos (seed {args.seed}) ==")
+    print(f"plan: {plan.describe()}")
+    jct = "-" if result.jct is None else f"{result.jct:.0f}s"
+    print(f"job completed: {result.completed} (JCT {jct})  "
+          f"agents alive: {result.agents_alive}")
+    print(render_table(
+        ["survival counter", "value"],
+        [[k, v] for k, v in result.survival.items()],
+    ))
+    print(render_table(
+        ["injected fault", "count"],
+        [[k, v] for k, v in result.fault_counts.items()],
+    ))
+    print(f"fault trace: {result.trace_len} events, "
+          f"digest {result.trace_digest[:16]}")
+    verdict = "SURVIVED" if result.survived else "DIED"
+    print(f"verdict: {verdict}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(_to_jsonable(result), fh, indent=2)
+        print(f"\nraw result written to {args.json}")
+    return 0 if result.survived else 1
+
+
 def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=0, metavar="N",
                    help="process-parallel fan-out of independent runs "
@@ -213,6 +257,34 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="dump the raw sweep points as JSON")
     _add_parallel_args(sweep)
+    chaos = sub.add_parser(
+        "chaos",
+        help="Fig. 9 mitigation scenario under fault injection "
+             "(exit 0 = survived)",
+    )
+    chaos.add_argument("--seed", type=int, default=3)
+    chaos.add_argument("--size-mb", type=float, default=640.0,
+                       help="terasort input size")
+    chaos.add_argument("--horizon", type=float, default=8000.0,
+                       help="give up if the job is not done by then")
+    chaos.add_argument("--call-failure-p", type=float, default=0.1,
+                       metavar="P", help="per-call LibvirtError probability")
+    chaos.add_argument("--connection-failure-p", type=float, default=0.02,
+                       metavar="P", help="listAllDomains failure probability")
+    chaos.add_argument("--freeze-p", type=float, default=0.05, metavar="P",
+                       help="per-sample stale-counter probability")
+    chaos.add_argument("--counter-reset-period", type=float, default=120.0,
+                       metavar="S", help="cumulative-counter reset period "
+                                         "(0 disables)")
+    chaos.add_argument("--latency-p", type=float, default=0.1, metavar="P",
+                       help="slow-actuation probability")
+    chaos.add_argument("--crash-vm", default="fio",
+                       help="VM to crash mid-run ('' disables)")
+    chaos.add_argument("--crash-at", type=float, default=60.0, metavar="S")
+    chaos.add_argument("--restart-after", type=float, default=30.0,
+                       metavar="S")
+    chaos.add_argument("--json", metavar="PATH", default=None,
+                       help="dump the raw result as JSON")
     for name, (_, desc, supports_full, supports_parallel) in _FIGURES.items():
         p = sub.add_parser(name, help=desc)
         p.add_argument("--seed", type=int, default=7)
@@ -234,12 +306,15 @@ def main(argv=None) -> int:
         rows = [[n, d] for n, (_, d, _, _) in _FIGURES.items()]
         print(render_table(["command", "reproduces"], rows))
         print("\nalso: `demo` — the quickstart scenario;"
-              " `sweep` — the β/γ sensitivity grid")
+              " `sweep` — the β/γ sensitivity grid;"
+              " `chaos` — the mitigation scenario under fault injection")
         return 0
     if args.command == "demo":
         return _run_demo(args)
     if args.command == "sweep":
         return _run_sweep(args)
+    if args.command == "chaos":
+        return _run_chaos(args)
     runner, _, _, _ = _FIGURES[args.command]
     result = runner(args)
     _print_result(args.command, result)

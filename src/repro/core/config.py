@@ -10,6 +10,7 @@ threshold 0.8 for antagonist identification (§III-D2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 __all__ = ["PerfCloudConfig"]
 
@@ -44,6 +45,16 @@ class PerfCloudConfig:
     #: How long an identified antagonist stays throttle-eligible after its
     #: correlation last exceeded the threshold, seconds.
     antagonist_ttl_s: float = 120.0
+    #: Retry attempts after a failed actuation call (each retried on an
+    #: exponential backoff starting at ``actuation_backoff_s``); the
+    #: reconciliation pass re-asserts anything still unapplied next interval.
+    actuation_retries: int = 3
+    #: First-retry backoff after a failed actuation, seconds.
+    actuation_backoff_s: float = 1.0
+    #: Drop monitor-history samples older than this, seconds; None keeps
+    #: every sample up to the series capacity (the figure runners read
+    #: full-run series, so the default stays unbounded).
+    history_retention_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.interval_s <= 0:
@@ -64,3 +75,9 @@ class PerfCloudConfig:
             raise ValueError("cap_floor_frac must be in [0, 1)")
         if self.antagonist_ttl_s <= 0:
             raise ValueError("antagonist_ttl_s must be positive")
+        if self.actuation_retries < 0:
+            raise ValueError("actuation_retries must be non-negative")
+        if self.actuation_backoff_s <= 0:
+            raise ValueError("actuation_backoff_s must be positive")
+        if self.history_retention_s is not None and self.history_retention_s <= 0:
+            raise ValueError("history_retention_s must be positive or None")

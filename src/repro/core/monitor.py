@@ -13,7 +13,12 @@ to smooth out short-term variations in the data collected over 5 second
 intervals."
 
 The monitor talks exclusively to the libvirt facade — it would run
-unchanged against real libvirt.
+unchanged against real libvirt.  It is hardened against a degraded
+facade: a ``LibvirtError`` on one domain's stats drops that VM for the
+interval (never the whole pass), a cumulative counter running backwards
+(guest reboot) restarts that VM's delta cursor instead of emitting
+garbage, and both the per-VM cursor *and* the sample history are purged
+when a VM leaves the host.
 """
 
 from __future__ import annotations
@@ -25,9 +30,25 @@ from repro.core.config import PerfCloudConfig
 from repro.metrics.ewma import Ewma
 from repro.metrics.stats import safe_ratio
 from repro.metrics.timeseries import TimeSeries
-from repro.virt.libvirt_api import Connection
+from repro.virt.libvirt_api import Connection, LibvirtError
 
-__all__ = ["VmSample", "PerformanceMonitor"]
+__all__ = ["MonitorStats", "VmSample", "PerformanceMonitor"]
+
+
+@dataclass
+class MonitorStats:
+    """Degraded-telemetry counters (all zero on a healthy facade)."""
+
+    #: Whole sampling passes lost to a failed domain listing.
+    list_failures: int = 0
+    #: Per-VM samples dropped to a stats-read failure.
+    samples_dropped: int = 0
+    #: Cumulative-counter resets detected (delta cursor restarted).
+    counter_resets: int = 0
+    #: Departed-VM history entries purged.
+    histories_purged: int = 0
+    #: Stale samples pruned by the retention window.
+    samples_pruned: int = 0
 
 
 @dataclass
@@ -70,15 +91,32 @@ class PerformanceMonitor:
         #: Full sample history per VM (TimeSeries per metric), for the
         #: identifier and for experiment reporting.
         self.history: Dict[str, Dict[str, TimeSeries]] = {}
+        self.stats = MonitorStats()
 
     def sample(self, now: float) -> Dict[str, VmSample]:
-        """Collect one interval's smoothed metrics for every domain."""
+        """Collect one interval's smoothed metrics for every domain.
+
+        A failing domain costs only its own sample: faults are isolated
+        per VM, and a failed listing costs one pass (no purging happens
+        on a pass whose inventory is unknown).
+        """
         out: Dict[str, VmSample] = {}
-        for dom in self.conn.listAllDomains():
+        try:
+            domains = self.conn.listAllDomains()
+        except LibvirtError:
+            self.stats.list_failures += 1
+            return out
+        present = set()
+        for dom in domains:
             name = dom.name()
-            raw = dom.blkioStats()
-            perf = dom.perfStats()
-            cpu = dom.cpuStats()
+            present.add(name)
+            try:
+                raw = dom.blkioStats()
+                perf = dom.perfStats()
+                cpu = dom.cpuStats()
+            except LibvirtError:
+                self.stats.samples_dropped += 1
+                continue
             counters = {**raw, **perf, **cpu}
             st = self._state.get(name)
             if st is None:
@@ -101,6 +139,13 @@ class PerformanceMonitor:
 
             dt = self.config.interval_s
             d = {k: counters[k] - prev.get(k, 0.0) for k in counters}
+            if min(d.values()) < -1e-6:
+                # Cumulative counters ran backwards: the guest rebooted
+                # (or the hypervisor reset its accounting).  Restart the
+                # cursor from this observation; the next interval yields
+                # a sane delta again.
+                self.stats.counter_resets += 1
+                continue
 
             iowait_ratio = safe_ratio(d["io_wait_time_ms"], d["io_serviced"], 0.0)
             cpi = safe_ratio(d["cycles"], d["instructions"], 0.0)
@@ -125,8 +170,18 @@ class PerformanceMonitor:
             if sample.llc_miss_rate is not None:
                 h["llc_miss_rate"].append(now, sample.llc_miss_rate)
             h["cpu_usage_cores"].append(now, sample.cpu_usage_cores)
-        # Forget VMs that left the host (migration / destroy).
-        present = {dom.name() for dom in self.conn.listAllDomains()}
+        # Forget VMs that left the host (migration / destroy): cursor,
+        # EWMA state *and* sample history — a long-lived daemon must not
+        # accumulate history for every VM that ever passed through.
         for gone in set(self._state) - present:
             del self._state[gone]
+        for gone in set(self.history) - present:
+            del self.history[gone]
+            self.stats.histories_purged += 1
+        retention = self.config.history_retention_s
+        if retention is not None:
+            cutoff = now - retention
+            for series_by_metric in self.history.values():
+                for ts in series_by_metric.values():
+                    self.stats.samples_pruned += ts.prune_before(cutoff)
         return out

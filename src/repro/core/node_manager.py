@@ -17,10 +17,19 @@ Every control interval the node manager:
 
 If several high-priority applications share the host, it reports the
 conflict to the cloud manager (the paper's migration hook, §IV-D2).
+
+The agent is hardened for long-running operation against a degraded
+libvirt: a failing actuation is retried on a bounded exponential backoff
+without losing controller state or skipping other antagonists, every
+interval ends with a desired-vs-applied reconciliation pass that
+re-asserts caps which drifted or never landed (e.g. after a guest
+reboot wiped them), cap state for departed VMs is retired, and no
+``LibvirtError`` ever kills the periodic control task.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.config import PerfCloudConfig
@@ -32,7 +41,27 @@ from repro.metrics.timeseries import TimeSeries
 from repro.sim.engine import Simulator
 from repro.virt.libvirt_api import VCPU_PERIOD_US, Connection, Domain, LibvirtError
 
-__all__ = ["NodeManager"]
+__all__ = ["ControlPlaneStats", "NodeManager"]
+
+
+@dataclass
+class ControlPlaneStats:
+    """Per-agent survival counters (all zero on a healthy facade)."""
+
+    #: Control intervals that ran to completion.
+    intervals_completed: int = 0
+    #: Control intervals aborted by an unhandled facade error.
+    intervals_aborted: int = 0
+    #: Actuation calls that raised (each then retried on backoff).
+    actuation_errors: int = 0
+    #: Retry attempts executed after a failed actuation.
+    actuations_retried: int = 0
+    #: Actuations abandoned after exhausting every retry.
+    actuations_failed: int = 0
+    #: Caps re-asserted by the reconciliation pass.
+    caps_reconciled: int = 0
+    #: Controller states retired because their VM left the host.
+    caps_retired: int = 0
 
 
 class NodeManager:
@@ -47,12 +76,15 @@ class NodeManager:
         *,
         autostart: bool = True,
         controller=None,
+        fault_injector=None,
     ) -> None:
         self.sim = sim
         self.host_name = host_name
         self.cloud = cloud
         self.config = config or PerfCloudConfig()
         self.conn: Connection = cloud.connection(host_name)
+        if fault_injector is not None:
+            self.conn = fault_injector.wrap(self.conn)
         self.monitor = PerformanceMonitor(self.conn, self.config)
         self.detector = InterferenceDetector(self.config)
         self.identifier = AntagonistIdentifier(self.config)
@@ -67,6 +99,7 @@ class NodeManager:
         self.cap_history: Dict[Tuple[str, str], TimeSeries] = {}
         #: (time, vm, resource, normalized_cap) actuation events.
         self.actions: List[tuple] = []
+        self.stats = ControlPlaneStats()
         self._task = None
         if autostart:
             self.start()
@@ -87,13 +120,25 @@ class NodeManager:
             self._task.stop()
 
     def control_interval(self) -> None:
-        """One pass of Algorithm 1."""
+        """One pass of Algorithm 1; a degraded facade never kills the task."""
+        try:
+            self._run_interval()
+        except LibvirtError:
+            # Every libvirt call inside the interval is individually
+            # guarded; this is the last line of defence keeping the
+            # periodic task alive under an unexpectedly failing facade.
+            self.stats.intervals_aborted += 1
+            return
+        self.stats.intervals_completed += 1
+
+    def _run_interval(self) -> None:
         now = self.sim.now
         instances = self.cloud.instances_on_host(self.host_name)
         high = [i for i in instances if i.is_high_priority and i.app_id]
         low = [i for i in instances if not i.is_high_priority]
 
         samples = self.monitor.sample(now)
+        self._retire_departed({i.name for i in instances})
 
         app_members: Dict[str, List[str]] = {}
         for info in high:
@@ -103,14 +148,14 @@ class NodeManager:
                 self.host_name, sorted(app_members), now
             )
         if not app_members:
-            self._record_cap_history(now)
+            self._finish_interval(now)
             return
 
         detections = self.detector.evaluate(now, samples, app_members)
         if not low:
             # Nothing to identify or throttle; detection history still
             # accumulates (the paper's "running alone" baselines).
-            self._record_cap_history(now)
+            self._finish_interval(now)
             return
 
         io_contention = any(d.io_contention for d in detections.values())
@@ -136,7 +181,29 @@ class NodeManager:
 
         self._control("io", io_antagonists, io_contention, samples, now)
         self._control("cpu", cpu_antagonists, cpu_contention, samples, now)
+        self._finish_interval(now)
+
+    def _finish_interval(self, now: float) -> None:
+        self._reconcile_caps(now)
         self._record_cap_history(now)
+
+    def survival_summary(self) -> Dict[str, int]:
+        """Merged control-plane and monitor survival counters."""
+        m = self.monitor.stats
+        return {
+            "intervals_completed": self.stats.intervals_completed,
+            "intervals_aborted": self.stats.intervals_aborted,
+            "list_failures": m.list_failures,
+            "samples_dropped": m.samples_dropped,
+            "counter_resets": m.counter_resets,
+            "histories_purged": m.histories_purged,
+            "samples_pruned": m.samples_pruned,
+            "actuation_errors": self.stats.actuation_errors,
+            "actuations_retried": self.stats.actuations_retried,
+            "actuations_failed": self.stats.actuations_failed,
+            "caps_reconciled": self.stats.caps_reconciled,
+            "caps_retired": self.stats.caps_retired,
+        }
 
     # ------------------------------------------------------------- internals
     def _suspect_series(self, low, metric: str) -> Dict[str, TimeSeries]:
@@ -206,25 +273,116 @@ class NodeManager:
             return  # VM left the host between sampling and actuation
         if state.released:
             if not was_released:
-                self._clear_cap(dom, resource)
-                self.actions.append((now, vm_name, resource, None))
+                if self._try_apply(dom, vm_name, resource, None):
+                    self.actions.append((now, vm_name, resource, None))
             return
-        cap = state.absolute_cap
-        if resource == "io":
-            dom.setBlockIoTune("vda", {"total_bytes_sec": cap})
-        else:
-            cores = max(cap, dom.vcpus() * 0.01)
-            quota = max(1000, int(round(cores / dom.vcpus() * VCPU_PERIOD_US)))
-            dom.setSchedulerParameters(
-                {"vcpu_quota": quota, "vcpu_period": VCPU_PERIOD_US}
-            )
-        self.actions.append((now, vm_name, resource, state.cap))
+        if self._try_apply(dom, vm_name, resource, state.absolute_cap):
+            self.actions.append((now, vm_name, resource, state.cap))
 
-    def _clear_cap(self, dom: Domain, resource: str) -> None:
+    def _try_apply(
+        self, dom: Domain, vm_name: str, resource: str, cap: Optional[float]
+    ) -> bool:
+        """Apply ``cap`` (None clears), scheduling backoff retries on failure.
+
+        Returns whether the cap landed now.  A failure never propagates:
+        the controller state is untouched and the remaining antagonists
+        of this interval still get actuated; retries re-apply whatever
+        the *current* desired cap is when they fire, and the next
+        interval's reconciliation pass covers anything still drifted.
+        """
+        try:
+            self._apply_cap(dom, resource, cap)
+            return True
+        except LibvirtError:
+            self.stats.actuation_errors += 1
+            self._schedule_retry(vm_name, resource, attempt=1)
+            return False
+
+    def _apply_cap(self, dom: Domain, resource: str, cap: Optional[float]) -> None:
         if resource == "io":
-            dom.setBlockIoTune("vda", {"total_bytes_sec": 0})
-        else:
+            dom.setBlockIoTune("vda", {"total_bytes_sec": cap or 0})
+        elif cap is None:
             dom.setSchedulerParameters({"vcpu_quota": -1})
+        else:
+            dom.setSchedulerParameters(
+                {"vcpu_quota": self._quota_for(dom, cap),
+                 "vcpu_period": VCPU_PERIOD_US}
+            )
+
+    def _quota_for(self, dom: Domain, cap: float) -> int:
+        cores = max(cap, dom.vcpus() * 0.01)
+        return max(1000, int(round(cores / dom.vcpus() * VCPU_PERIOD_US)))
+
+    def _schedule_retry(self, vm_name: str, resource: str, attempt: int) -> None:
+        if attempt > self.config.actuation_retries:
+            self.stats.actuations_failed += 1
+            return
+        delay = self.config.actuation_backoff_s * (2 ** (attempt - 1))
+        self.sim.schedule(
+            delay,
+            lambda: self._retry_actuation(vm_name, resource, attempt),
+            name=f"actuate-retry-{vm_name}-{resource}",
+        )
+
+    def _retry_actuation(self, vm_name: str, resource: str, attempt: int) -> None:
+        state = self.cap_states.get((vm_name, resource))
+        desired = None if state is None or state.released else state.absolute_cap
+        self.stats.actuations_retried += 1
+        try:
+            dom = self.conn.lookupByName(vm_name)
+            self._apply_cap(dom, resource, desired)
+        except LibvirtError:
+            self._schedule_retry(vm_name, resource, attempt + 1)
+            return
+        self.actions.append(
+            (self.sim.now, vm_name, resource,
+             state.cap if desired is not None else None)
+        )
+
+    def _reconcile_caps(self, now: float) -> None:
+        """Re-assert every desired cap whose applied value drifted.
+
+        Actuations can fail past their retries, land late, or be wiped
+        wholesale by a guest reboot; comparing the controller's desired
+        cap against what libvirt reports and re-applying the difference
+        makes the applied state converge regardless of which write was
+        lost.  On a healthy facade every comparison matches and this
+        pass is a read-only no-op.
+        """
+        for (vm_name, resource), state in self.cap_states.items():
+            desired = None if state.released else state.absolute_cap
+            try:
+                dom = self.conn.lookupByName(vm_name)
+                if self._cap_matches(dom, resource, desired):
+                    continue
+                self._apply_cap(dom, resource, desired)
+            except LibvirtError:
+                # Unreadable or unwritable right now; next interval retries.
+                continue
+            self.stats.caps_reconciled += 1
+            self.actions.append(
+                (now, vm_name, resource,
+                 state.cap if desired is not None else None)
+            )
+
+    def _cap_matches(
+        self, dom: Domain, resource: str, desired: Optional[float]
+    ) -> bool:
+        if resource == "io":
+            applied = dom.blockIoTune("vda")["total_bytes_sec"]
+            if desired is None:
+                return applied == 0.0
+            return abs(applied - desired) <= 1e-9 * max(1.0, abs(desired))
+        quota = dom.schedulerParameters()["vcpu_quota"]
+        if desired is None:
+            return quota == -1
+        return quota == self._quota_for(dom, desired)
+
+    def _retire_departed(self, present: Set[str]) -> None:
+        """Drop controller state for VMs no longer on this host."""
+        for key in [k for k in self.cap_states if k[0] not in present]:
+            del self.cap_states[key]
+            self.stats.caps_retired += 1
 
     def _record_cap_history(self, now: float) -> None:
         for key, state in self.cap_states.items():

@@ -34,16 +34,21 @@ class PerfCloud:
         hosts: Optional[List[str]] = None,
         autostart: bool = True,
         controller_factory=None,
+        fault_injector=None,
     ) -> None:
         self.sim = sim
         self.cloud = cloud
         self.config = config or PerfCloudConfig()
         self.controller_factory = controller_factory
+        #: Optional :class:`~repro.faults.injector.FaultInjector` standing
+        #: between every agent and its libvirt facade (chaos testing).
+        self.fault_injector = fault_injector
         self.node_managers: Dict[str, NodeManager] = {}
         for host in hosts if hosts is not None else cloud.hosts():
             self.node_managers[host] = NodeManager(
                 sim, host, cloud, self.config, autostart=autostart,
                 controller=controller_factory() if controller_factory else None,
+                fault_injector=fault_injector,
             )
 
     def add_host(self, host_name: str) -> NodeManager:
@@ -53,6 +58,7 @@ class PerfCloud:
         nm = NodeManager(
             self.sim, host_name, self.cloud, self.config,
             controller=self.controller_factory() if self.controller_factory else None,
+            fault_injector=self.fault_injector,
         )
         self.node_managers[host_name] = nm
         return nm
@@ -69,6 +75,21 @@ class PerfCloud:
         for nm in self.node_managers.values():
             events.extend(nm.actions)
         return sorted(events)
+
+    def survival_summary(self) -> Dict[str, int]:
+        """Survival counters summed across every agent."""
+        total: Dict[str, int] = {}
+        for host in sorted(self.node_managers):
+            for key, value in self.node_managers[host].survival_summary().items():
+                total[key] = total.get(key, 0) + value
+        return total
+
+    def all_agents_alive(self) -> bool:
+        """Whether every agent's periodic control task is still running."""
+        return all(
+            nm._task is not None and not nm._task.stopped
+            for nm in self.node_managers.values()
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PerfCloud(agents={len(self.node_managers)})"

@@ -18,6 +18,12 @@ seconds-to-minutes on a laptop while preserving the paper's shape; pass
 ``full_scale=True`` (where available) for the paper's exact dimensions.
 """
 
+from repro.experiments.chaos import (
+    ChaosResult,
+    ChaosScenario,
+    default_fault_plan,
+    run_chaos,
+)
 from repro.experiments.harness import (
     Testbed,
     TestbedConfig,
@@ -37,6 +43,8 @@ from repro.experiments.report import ProgressReporter, render_table
 from repro.experiments.tracing import MetricTracer
 
 __all__ = [
+    "ChaosResult",
+    "ChaosScenario",
     "MetricTracer",
     "Progress",
     "ProgressReporter",
@@ -46,10 +54,12 @@ __all__ = [
     "TestbedConfig",
     "WorkerError",
     "build_testbed",
+    "default_fault_plan",
     "figures",
     "sweeps",
     "make_antagonist",
     "render_table",
+    "run_chaos",
     "run_many",
     "run_many_report",
     "task_key",

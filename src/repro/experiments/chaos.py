@@ -1,0 +1,140 @@
+"""Chaos harness: the Fig. 9 mitigation scenario under fault injection.
+
+:func:`run_chaos` replays the paper's dynamic-control story — a
+high-priority job sharing a host with I/O and memory antagonists, a
+PerfCloud agent throttling them — while a
+:class:`~repro.faults.injector.FaultInjector` degrades the libvirt
+facade underneath the agent: transient call failures, frozen and reset
+counters, slow actuations, and an antagonist VM crashing and rebooting
+mid-run.  The run *survives* when no control-loop task dies and the job
+still completes; the :class:`ChaosResult` reports the survival counters
+(samples dropped, actuations retried, caps reconciled, ...) next to the
+injected-fault totals.
+
+Everything is driven by the simulator's seeded RNG streams, so the same
+seed and fault plan reproduce the identical fault trace and survival
+summary — ``ChaosResult.trace_digest`` pins that determinism in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import PerfCloudConfig
+from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.faults.injector import FaultInjector
+from repro.faults.spec import CrashEvent, FaultPlan
+from repro.workloads.datagen import teragen
+from repro.workloads.puma import PUMA_BENCHMARKS
+
+__all__ = ["ChaosScenario", "ChaosResult", "default_fault_plan", "run_chaos"]
+
+
+def default_fault_plan(
+    *,
+    call_failure_p: float = 0.1,
+    connection_failure_p: float = 0.02,
+    freeze_p: float = 0.05,
+    freeze_duration_s: float = 15.0,
+    counter_reset_period_s: Optional[float] = 120.0,
+    counter_reset_p: float = 0.0,
+    latency_p: float = 0.1,
+    latency_s: float = 2.0,
+    crash_vm: Optional[str] = "fio",
+    crash_at_s: float = 60.0,
+    restart_after_s: float = 30.0,
+) -> FaultPlan:
+    """The reference chaos mix: every fault class the injector knows,
+    at rates a long-lived production daemon plausibly sees compressed
+    into one run."""
+    crashes: Tuple[CrashEvent, ...] = ()
+    if crash_vm:
+        crashes = (CrashEvent(vm=crash_vm, at_s=crash_at_s,
+                              restart_after_s=restart_after_s),)
+    return FaultPlan(
+        call_failure_p=call_failure_p,
+        connection_failure_p=connection_failure_p,
+        freeze_p=freeze_p,
+        freeze_duration_s=freeze_duration_s,
+        counter_reset_period_s=counter_reset_period_s,
+        counter_reset_p=counter_reset_p,
+        latency_p=latency_p,
+        latency_s=latency_s,
+        crashes=crashes,
+    )
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """The Fig. 9-style world the faults are thrown at."""
+
+    seed: int = 3
+    num_workers: int = 6
+    size_mb: float = 640.0
+    #: (kind, host_index) antagonist set, as in TestbedConfig.
+    antagonists: Tuple[Tuple[str, Optional[int]], ...] = (
+        ("fio", None), ("stream", None),
+    )
+    horizon: float = 8000.0
+    #: Keep simulating this long after job completion (recovery window —
+    #: caps release and reconciliation settles).
+    cooldown_s: float = 60.0
+    plan: FaultPlan = field(default_factory=default_fault_plan)
+
+
+@dataclass
+class ChaosResult:
+    """Survival summary of one chaos run."""
+
+    #: The job finished within the horizon.
+    completed: bool
+    jct: Optional[float]
+    #: Every agent's periodic control task survived to the end.
+    agents_alive: bool
+    #: Merged control-plane + monitor counters (see survival_summary()).
+    survival: Dict[str, int]
+    #: Injected-fault totals by kind.
+    fault_counts: Dict[str, int]
+    #: Number of injected faults.
+    trace_len: int
+    #: sha256 over the fault trace — two runs with the same seed and
+    #: plan must produce the same digest.
+    trace_digest: str
+
+    @property
+    def survived(self) -> bool:
+        """Job done and every control loop still alive."""
+        return self.completed and self.agents_alive
+
+
+def run_chaos(
+    scenario: Optional[ChaosScenario] = None,
+    config: Optional[PerfCloudConfig] = None,
+) -> ChaosResult:
+    """Run the mitigation scenario under the scenario's fault plan."""
+    sc = scenario or ChaosScenario()
+    testbed = build_testbed(
+        TestbedConfig(
+            seed=sc.seed, num_workers=sc.num_workers, framework="mapreduce",
+            antagonists=sc.antagonists,
+        )
+    )
+    injector = FaultInjector(testbed.sim, sc.plan, cluster=testbed.cluster)
+    perfcloud = testbed.deploy_perfcloud(config, fault_injector=injector)
+    spec = PUMA_BENCHMARKS["terasort"]()
+    job = testbed.jobtracker.submit(spec, teragen(sc.size_mb), num_reducers=10)
+    completed = run_until(
+        testbed.sim, lambda: job.completion_time is not None, sc.horizon
+    )
+    if sc.cooldown_s > 0:
+        testbed.run(sc.cooldown_s)
+    return ChaosResult(
+        completed=completed,
+        jct=job.completion_time,
+        agents_alive=perfcloud.all_agents_alive(),
+        survival=perfcloud.survival_summary(),
+        fault_counts=injector.fault_counts(),
+        trace_len=len(injector.trace),
+        trace_digest=injector.digest(),
+    )

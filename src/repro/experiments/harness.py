@@ -109,11 +109,14 @@ class Testbed:
         config: Optional[PerfCloudConfig] = None,
         *,
         controller_factory=None,
+        fault_injector=None,
     ) -> PerfCloud:
         """Deploy one node-manager agent per host (optionally with an
-        alternative cap-control law for ablations)."""
+        alternative cap-control law for ablations, and/or a fault
+        injector between the agents and their libvirt facades)."""
         self.perfcloud = PerfCloud(
-            self.sim, self.cloud, config, controller_factory=controller_factory
+            self.sim, self.cloud, config, controller_factory=controller_factory,
+            fault_injector=fault_injector,
         )
         return self.perfcloud
 

@@ -1,0 +1,29 @@
+"""Deterministic fault injection for the PerfCloud control plane.
+
+A production node manager is a long-running per-host daemon: it must
+survive libvirt hiccups, stale or dropped telemetry, cumulative-counter
+resets after guest reboots, slow actuation, and VMs crashing under it
+(paper §III-D2; PANDA and Alioth make the same point for noisy
+production telemetry).  This package provides the adversary:
+
+* :mod:`~repro.faults.spec` — declarative, validated fault plans
+  (:class:`FaultPlan`, :class:`CrashEvent`);
+* :mod:`~repro.faults.injector` — :class:`FaultInjector`, which wraps
+  the libvirt facade (``Connection``/``Domain`` decorators) and injects
+  faults drawn from named :mod:`repro.sim.rng` streams, so that the same
+  seed and plan always produce the same fault trace.
+
+With no injector installed the control plane never touches this package
+— the clean path is byte-identical to an injection-free build.
+"""
+
+from repro.faults.injector import FaultInjector, FaultyConnection, FaultyDomain
+from repro.faults.spec import CrashEvent, FaultPlan
+
+__all__ = [
+    "CrashEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyConnection",
+    "FaultyDomain",
+]

@@ -1,0 +1,140 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` names every fault the injector can throw and how
+often; a plan plus a root seed fully determines the injected-fault trace
+(see :class:`~repro.faults.injector.FaultInjector`).  All probabilities
+are per *call* (the node manager makes a handful of libvirt calls per VM
+per 5-second interval), so e.g. ``call_failure_p=0.1`` means roughly one
+in ten facade calls raises a transient ``LibvirtError``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Optional, Tuple
+
+__all__ = ["CrashEvent", "FaultPlan"]
+
+
+@dataclass(frozen=True)
+class CrashEvent:
+    """One scheduled VM crash (and later restart).
+
+    While down, every stats/actuation call against the domain raises
+    ``LibvirtError`` and the guest's workload makes no progress.  On
+    restart the guest reboots: its cumulative counters restart from zero
+    and any cgroup caps are lost (a fresh domain boots uncapped) — the
+    control plane has to re-detect and re-assert.
+    """
+
+    vm: str
+    at_s: float
+    restart_after_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not self.vm:
+            raise ValueError("crash event needs a VM name")
+        if self.at_s < 0:
+            raise ValueError(f"crash time must be non-negative, got {self.at_s!r}")
+        if self.restart_after_s <= 0:
+            raise ValueError(
+                f"restart_after_s must be positive, got {self.restart_after_s!r}"
+            )
+
+
+def _check_p(name: str, p: Optional[float]) -> None:
+    if p is not None and not 0.0 <= p <= 1.0:
+        raise ValueError(f"{name} must be a probability in [0, 1], got {p!r}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector may throw at the control plane.
+
+    ``persistent_failures`` entries are ``(vm, method)`` pairs that fail
+    on *every* call (``"*"`` wildcards either side) — the persistent
+    counterpart of the probabilistic transient failures.
+    """
+
+    # -- transient call failures (LibvirtError) -----------------------------
+    #: Any Domain-level facade call.
+    call_failure_p: float = 0.0
+    #: Override for stats reads (blkioStats/perfStats/cpuStats and the
+    #: blockIoTune/schedulerParameters read-backs); None = call_failure_p.
+    sampling_failure_p: Optional[float] = None
+    #: Override for actuation writes (setBlockIoTune/setSchedulerParameters);
+    #: None = call_failure_p.
+    actuation_failure_p: Optional[float] = None
+    #: Connection-level calls (listAllDomains) — loses a whole interval.
+    connection_failure_p: float = 0.0
+    #: (vm, method) pairs that always fail; "*" wildcards either side.
+    persistent_failures: Tuple[Tuple[str, str], ...] = ()
+
+    # -- telemetry corruption ----------------------------------------------
+    #: Per stats-read chance the counters freeze (go stale) for a while.
+    freeze_p: float = 0.0
+    freeze_duration_s: float = 15.0
+    #: Reset every targeted VM's cumulative counters this often (guest
+    #: reboot without downtime); None disables periodic resets.
+    counter_reset_period_s: Optional[float] = None
+    #: Per sampling pass chance one VM's counters reset.
+    counter_reset_p: float = 0.0
+
+    # -- actuation latency --------------------------------------------------
+    #: Chance an actuation call returns immediately but only takes effect
+    #: after ``latency_s`` (the paper's <30 ms apply latency gone bad).
+    latency_p: float = 0.0
+    latency_s: float = 2.0
+
+    # -- scheduled churn ----------------------------------------------------
+    crashes: Tuple[CrashEvent, ...] = ()
+
+    # -- targeting ----------------------------------------------------------
+    #: Restrict probabilistic faults to these VMs; None = every VM.
+    vms: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        for f in ("call_failure_p", "connection_failure_p", "freeze_p",
+                  "counter_reset_p", "latency_p"):
+            _check_p(f, getattr(self, f))
+        _check_p("sampling_failure_p", self.sampling_failure_p)
+        _check_p("actuation_failure_p", self.actuation_failure_p)
+        if self.freeze_duration_s <= 0:
+            raise ValueError("freeze_duration_s must be positive")
+        if self.counter_reset_period_s is not None and self.counter_reset_period_s <= 0:
+            raise ValueError("counter_reset_period_s must be positive or None")
+        if self.latency_s <= 0:
+            raise ValueError("latency_s must be positive")
+        for pair in self.persistent_failures:
+            if len(pair) != 2 or not all(isinstance(x, str) and x for x in pair):
+                raise ValueError(
+                    f"persistent_failures entries are (vm, method) pairs, got {pair!r}"
+                )
+
+    # ------------------------------------------------------------- helpers
+    @property
+    def sampling_p(self) -> float:
+        """Effective stats-read failure probability."""
+        return (self.sampling_failure_p if self.sampling_failure_p is not None
+                else self.call_failure_p)
+
+    @property
+    def actuation_p(self) -> float:
+        """Effective actuation-write failure probability."""
+        return (self.actuation_failure_p if self.actuation_failure_p is not None
+                else self.call_failure_p)
+
+    def targets(self, vm: str) -> bool:
+        """Whether probabilistic faults apply to ``vm``."""
+        return self.vms is None or vm in self.vms
+
+    def describe(self) -> str:
+        """Compact non-default-field summary (for traces and reports)."""
+        parts = []
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v != f.default and f.name != "crashes":
+                parts.append(f"{f.name}={v!r}")
+        for ev in self.crashes:
+            parts.append(f"crash({ev.vm}@{ev.at_s:g}+{ev.restart_after_s:g})")
+        return ", ".join(parts) or "no-faults"

@@ -55,6 +55,20 @@ class TimeSeries:
         for t, v in samples:
             self.append(t, v)
 
+    def prune_before(self, cutoff: float) -> int:
+        """Drop samples older than ``cutoff``; returns how many were dropped.
+
+        Retention pruning for long-running monitors: the capacity bound
+        caps memory per series, this caps *staleness* (a VM that idles
+        for hours must not keep hour-old samples alive forever).
+        """
+        dropped = 0
+        while self._times and self._times[0] < cutoff - 1e-9:
+            self._times.popleft()
+            self._values.popleft()
+            dropped += 1
+        return dropped
+
     # ------------------------------------------------------------------ read
     def __len__(self) -> int:
         return len(self._times)

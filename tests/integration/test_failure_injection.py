@@ -28,8 +28,16 @@ def test_antagonist_destroyed_mid_control():
     assert ("fio", "io") in nm.cap_states
     testbed.cloud.delete("fio")
     assert run_until(testbed.sim, lambda: job.completion_time is not None, 6000)
-    # Monitoring forgot the VM; later intervals ran fine.
-    assert "fio" not in nm.monitor.history or job.completion_time is not None
+    # Monitoring forgot the VM entirely: sample history, delta cursor and
+    # controller state were all purged by later intervals — independently
+    # of the job outcome.
+    assert "fio" not in nm.monitor.history
+    assert "fio" not in nm.monitor._state
+    assert nm.monitor.stats.histories_purged >= 1
+    assert ("fio", "io") not in nm.cap_states
+    assert nm.stats.caps_retired >= 1
+    # And those later intervals kept completing after the churn.
+    assert nm.stats.intervals_completed > 0 and nm.stats.intervals_aborted == 0
 
 
 def test_late_arriving_antagonist_detected():

@@ -1,0 +1,158 @@
+"""Actuation failures: retry with backoff, reconciliation, clean no-op.
+
+A ``LibvirtError`` thrown by ``setBlockIoTune``/``setSchedulerParameters``
+mid-``_control`` must not lose controller state or skip the remaining
+antagonists; retries re-apply the *current* desired cap, and the
+per-interval reconciliation pass re-asserts caps wiped behind the
+controller's back (e.g. by a guest reboot).
+"""
+
+import pytest
+
+from repro.cloud.nova import CloudManager
+from repro.core.config import PerfCloudConfig
+from repro.core.monitor import VmSample
+from repro.core.node_manager import NodeManager
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.virt.libvirt_api import LibvirtError
+from repro.virt.vm import Priority
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    cloud.boot("victim", host="h0", priority=Priority.HIGH, app_id="app")
+    cloud.boot("bad", host="h0", priority=Priority.LOW)
+    cloud.boot("bad2", host="h0", priority=Priority.LOW)
+    injector = FaultInjector(sim, FaultPlan(), cluster=cluster)
+    nm = NodeManager(sim, "h0", cloud, PerfCloudConfig(), autostart=False,
+                     fault_injector=injector)
+    return sim, cluster, cloud, injector, nm
+
+
+def samples(io_bps=5e6, cores=2.0):
+    def one():
+        return VmSample(time=0.0, iowait_ratio=0.0, cpi=1.0,
+                        io_bytes_ps=io_bps, llc_miss_rate=None,
+                        cpu_usage_cores=cores)
+    return {"bad": one(), "bad2": one()}
+
+
+def test_failed_actuation_keeps_state_and_remaining_antagonists(world):
+    sim, cluster, cloud, injector, nm = world
+    injector.break_call("bad", "setBlockIoTune")
+    nm._control("io", {"bad", "bad2"}, True, samples(), now=5.0)
+    # Both controller states exist despite the first VM's write failing...
+    assert ("bad", "io") in nm.cap_states
+    assert ("bad2", "io") in nm.cap_states
+    # ...the healthy antagonist was still capped...
+    assert cluster.vms["bad2"].cgroup.throttle.bps_cap is not None
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap is None
+    # ...and the failure was counted, not raised.
+    assert nm.stats.actuation_errors == 1
+
+
+def test_cpu_actuation_failure_is_isolated_too(world):
+    sim, cluster, cloud, injector, nm = world
+    injector.break_call("bad", "setSchedulerParameters")
+    nm._control("cpu", {"bad", "bad2"}, True, samples(), now=5.0)
+    assert ("bad", "cpu") in nm.cap_states
+    assert cluster.vms["bad2"].cgroup.cpu.quota_cores is not None
+    assert nm.stats.actuation_errors == 1
+
+
+def test_retry_lands_cap_after_transient_failure(world):
+    sim, cluster, cloud, injector, nm = world
+    injector.break_call("bad", "setBlockIoTune")
+    nm._control("io", {"bad", "bad2"}, True, samples(), now=5.0)
+    injector.heal("bad", "setBlockIoTune")
+    sim.run_for(2.0)  # first backoff retry fires at +1s
+    assert nm.stats.actuations_retried == 1
+    state = nm.cap_states[("bad", "io")]
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap == pytest.approx(
+        state.absolute_cap
+    )
+    assert any(vm == "bad" for (_, vm, _, _) in nm.actions)
+
+
+def test_retry_applies_current_desired_cap_not_stale(world):
+    sim, cluster, cloud, injector, nm = world
+    injector.break_call("bad", "setBlockIoTune")
+    nm._control("io", {"bad"}, True, samples(), now=5.0)
+    # The controller moves on before the retry fires.
+    nm._control("io", {"bad"}, True, samples(), now=10.0)
+    injector.heal("bad", "setBlockIoTune")
+    sim.run_for(8.0)
+    state = nm.cap_states[("bad", "io")]
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap == pytest.approx(
+        state.absolute_cap
+    )
+
+
+def test_retries_exhaust_and_give_up(world):
+    sim, cluster, cloud, injector, nm = world
+    injector.break_call("bad", "setBlockIoTune")
+    nm._control("io", {"bad"}, True, samples(), now=5.0)
+    sim.run_for(20.0)  # backoffs 1+2+4 all fire and fail
+    assert nm.stats.actuations_retried == nm.config.actuation_retries
+    assert nm.stats.actuations_failed == 1
+    assert ("bad", "io") in nm.cap_states  # state survives for reconciliation
+
+
+def test_reconciliation_reasserts_wiped_cap(world):
+    sim, cluster, cloud, injector, nm = world
+    nm._control("io", {"bad"}, True, samples(), now=5.0)
+    state = nm.cap_states[("bad", "io")]
+    vm = cluster.vms["bad"]
+    assert vm.cgroup.throttle.bps_cap is not None
+    vm.cgroup.throttle.bps_cap = None  # guest reboot wiped the cgroup
+    nm._finish_interval(10.0)
+    assert nm.stats.caps_reconciled == 1
+    assert vm.cgroup.throttle.bps_cap == pytest.approx(state.absolute_cap)
+
+
+def test_reconciliation_clean_path_is_a_no_op(world):
+    sim, cluster, cloud, injector, nm = world
+    nm._control("io", {"bad"}, True, samples(), now=5.0)
+    nm._control("cpu", {"bad2"}, True, samples(), now=5.0)
+    before = list(nm.actions)
+    nm._finish_interval(10.0)
+    nm._finish_interval(15.0)
+    # Applied matches desired: reconciliation read, compared and left
+    # everything alone.
+    assert nm.stats.caps_reconciled == 0
+    assert nm.actions == before
+
+
+def test_departed_vm_cap_state_retired(world):
+    sim, cluster, cloud, injector, nm = world
+    nm._control("io", {"bad"}, True, samples(), now=5.0)
+    assert ("bad", "io") in nm.cap_states
+    cloud.delete("bad")
+    nm.control_interval()
+    assert ("bad", "io") not in nm.cap_states
+    assert nm.stats.caps_retired == 1
+
+
+def test_control_interval_never_raises(world):
+    sim, cluster, cloud, injector, nm = world
+    injector.plan = FaultPlan(call_failure_p=1.0, connection_failure_p=1.0)
+    for _ in range(5):
+        nm.control_interval()  # must not propagate LibvirtError
+    assert nm.stats.intervals_completed + nm.stats.intervals_aborted == 5
+
+
+def test_survival_summary_merges_monitor_and_control(world):
+    sim, cluster, cloud, injector, nm = world
+    nm.control_interval()
+    summary = nm.survival_summary()
+    for key in ("intervals_completed", "samples_dropped", "counter_resets",
+                "actuation_errors", "actuations_retried", "caps_reconciled",
+                "caps_retired"):
+        assert key in summary
+    assert summary["intervals_completed"] == 1

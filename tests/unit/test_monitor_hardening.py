@@ -1,0 +1,114 @@
+"""Monitor hardening: degraded telemetry costs samples, never sanity.
+
+Pins the per-VM fault isolation, the counter-reset cursor restart, the
+departed-VM history purge and the bounded retention window of
+:class:`~repro.core.monitor.PerformanceMonitor`.
+"""
+
+import pytest
+
+from repro.cloud.nova import CloudManager
+from repro.core.config import PerfCloudConfig
+from repro.core.monitor import PerformanceMonitor
+from repro.faults import FaultInjector, FaultPlan
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+from repro.workloads.antagonists import FioRandomRead
+
+
+def make_monitor(config=None, plan=None, vms=("a", "b")):
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    for name in vms:
+        cloud.boot(name, "m1.large", host="h0").attach_workload(FioRandomRead())
+    injector = FaultInjector(sim, plan or FaultPlan(), cluster=cluster)
+    conn = injector.wrap(cloud.connection("h0"))
+    monitor = PerformanceMonitor(conn, config or PerfCloudConfig())
+    return sim, cloud, injector, monitor
+
+
+def advance_and_sample(sim, monitor, passes, step=5.0):
+    out = None
+    for _ in range(passes):
+        sim.run_for(step)
+        out = monitor.sample(sim.now)
+    return out
+
+
+def test_one_vm_failing_does_not_cost_the_pass():
+    sim, cloud, injector, monitor = make_monitor()
+    advance_and_sample(sim, monitor, 2)
+    injector.break_call("a", "blkioStats")
+    out = advance_and_sample(sim, monitor, 1)
+    assert "a" not in out and "b" in out  # fault isolated to its VM
+    assert monitor.stats.samples_dropped == 1
+    injector.heal("a", "blkioStats")
+    out = advance_and_sample(sim, monitor, 1)
+    assert "a" in out and "b" in out
+
+
+def test_failed_listing_costs_one_pass_without_purging():
+    sim, cloud, injector, monitor = make_monitor()
+    advance_and_sample(sim, monitor, 2)
+    assert set(monitor.history) == {"a", "b"}
+    # FaultPlan is frozen; swap the injector's plan for a wedged listing.
+    injector.plan = FaultPlan(connection_failure_p=1.0)
+    out = advance_and_sample(sim, monitor, 1)
+    assert out == {}
+    assert monitor.stats.list_failures == 1
+    # Inventory unknown: nothing was purged.
+    assert set(monitor.history) == {"a", "b"}
+
+
+def test_counter_reset_restarts_cursor_not_garbage():
+    sim, cloud, injector, monitor = make_monitor()
+    advance_and_sample(sim, monitor, 3)
+    injector.mark_reset("a")  # guest reboot: counters run backwards
+    out = advance_and_sample(sim, monitor, 1)
+    assert "a" not in out  # the reset interval is swallowed...
+    assert monitor.stats.counter_resets == 1
+    out = advance_and_sample(sim, monitor, 1)
+    assert "a" in out  # ...and the cursor restarts cleanly
+    series = monitor.history["a"]["io_bytes_ps"].values()
+    assert all(v >= 0.0 for v in series)  # no negative-delta poisoning
+
+
+def test_departed_vm_history_is_purged():
+    sim, cloud, injector, monitor = make_monitor()
+    advance_and_sample(sim, monitor, 2)
+    assert "a" in monitor.history
+    cloud.delete("a")
+    advance_and_sample(sim, monitor, 1)
+    assert "a" not in monitor.history
+    assert "a" not in monitor._state
+    assert monitor.stats.histories_purged == 1
+    assert "b" in monitor.history  # the survivor keeps its history
+
+
+def test_retention_window_bounds_history():
+    config = PerfCloudConfig(history_retention_s=20.0)
+    sim, cloud, injector, monitor = make_monitor(config=config)
+    advance_and_sample(sim, monitor, 12)  # 60 s of samples
+    assert monitor.stats.samples_pruned > 0
+    for series_by_metric in monitor.history.values():
+        for ts in series_by_metric.values():
+            times = ts.times()
+            assert len(times) == 0 or times[0] >= sim.now - 20.0 - 1e-9
+
+
+def test_unbounded_retention_by_default():
+    sim, cloud, injector, monitor = make_monitor()
+    advance_and_sample(sim, monitor, 12)
+    assert monitor.stats.samples_pruned == 0
+    assert len(monitor.history["a"]["io_bytes_ps"]) >= 10
+
+
+def test_config_rejects_bad_hardening_knobs():
+    with pytest.raises(ValueError):
+        PerfCloudConfig(actuation_retries=-1)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(actuation_backoff_s=0.0)
+    with pytest.raises(ValueError):
+        PerfCloudConfig(history_retention_s=-5.0)
