@@ -7,7 +7,7 @@ CACHE_DIR ?= .repro-cache
 # Run straight from the source tree — no `pip install -e .` needed.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test chaos bench bench-full examples figures sweep clean
+.PHONY: install test chaos bench bench-figures bench-figures-full examples figures sweep clean
 
 install:
 	pip install -e .
@@ -22,11 +22,21 @@ chaos:
 	$(PY) -m pytest -x -q -m chaos
 	$(PY) -m repro chaos
 
+# Performance-regression harness: micro + macro suites, compared against
+# the committed baseline (benchmarks/perf/baseline.json) with the 30%
+# tolerance gate.  Writes BENCH_<rev>.json.  See docs/PERFORMANCE.md.
 bench:
-	$(PY) -m pytest benchmarks/ --benchmark-only
+	$(PY) -m pytest -q benchmarks/perf/
+	$(PY) -m repro bench --compare --check
 
-bench-full:
-	REPRO_FULL_SCALE=1 $(PY) -m pytest benchmarks/ --benchmark-only
+# Figure-reproduction benchmarks (pytest-benchmark; print paper-vs-measured
+# tables and assert qualitative shape — these are accuracy checks, not the
+# perf gate above).
+bench-figures:
+	$(PY) -m pytest benchmarks/ --ignore=benchmarks/perf --benchmark-only
+
+bench-figures-full:
+	REPRO_FULL_SCALE=1 $(PY) -m pytest benchmarks/ --ignore=benchmarks/perf --benchmark-only
 
 examples:
 	for ex in examples/*.py; do echo "== $$ex"; $(PY) $$ex || exit 1; done

@@ -1,0 +1,73 @@
+"""CI smoke gate for the `repro bench` performance harness.
+
+Not part of the tier-1 suite (``testpaths = ["tests"]``): run explicitly
+via ``pytest benchmarks/perf/`` (the CI ``bench-smoke`` job) or through
+``make bench``.  Two layers of protection:
+
+* machine-independent floors — the vectorized identifier must beat the
+  naive reference by the acceptance margin regardless of host speed;
+* the committed baseline gate — ratio metrics from ``baseline.json``
+  must not regress beyond the default 30% tolerance (absolute
+  throughput/latency numbers are reported but not gated here, since CI
+  runners vary wildly — pass ``--strict`` locally for those).
+"""
+
+import os
+
+import pytest
+
+from repro.bench.gate import DEFAULT_TOLERANCE, compare, metric_kind
+from repro.bench.micro import run_micro
+from repro.bench.runner import default_baseline_path, load_result
+
+
+@pytest.fixture(scope="module")
+def micro_metrics():
+    return run_micro(repeat=1)
+
+
+def test_identifier_speedup_floor(micro_metrics):
+    # The PR's headline acceptance criterion: >= 3x over the pre-
+    # optimization identification path at fig-scale dimensions.
+    assert micro_metrics["micro.identifier.speedup_vs_naive"] >= 3.0
+
+
+def test_timeseries_lookup_speedup_floor(micro_metrics):
+    assert micro_metrics["micro.timeseries.speedup_vs_naive"] >= 3.0
+
+
+def test_rolling_stats_speedup_floor(micro_metrics):
+    assert micro_metrics["micro.rolling.speedup_vs_naive"] >= 3.0
+
+
+def test_micro_metrics_are_positive_finite(micro_metrics):
+    for name, value in micro_metrics.items():
+        assert value > 0.0, name
+        assert value == value and value != float("inf"), name
+
+
+def test_no_gated_regression_vs_committed_baseline(micro_metrics):
+    baseline_path = default_baseline_path()
+    if baseline_path is None:
+        pytest.skip("no committed baseline (benchmarks/perf/baseline.json)")
+    baseline = load_result(baseline_path)
+    gate = compare(
+        micro_metrics,
+        {k: v for k, v in baseline["metrics"].items()
+         if k in micro_metrics},
+        tolerance=DEFAULT_TOLERANCE,
+        strict=False,  # ratio metrics only: CI hosts differ in raw speed
+    )
+    assert not gate.failures, "regressed: " + ", ".join(
+        f"{c.metric} {c.baseline:.3g}->{c.current:.3g}" for c in gate.failures
+    )
+
+
+def test_baseline_when_present_contains_ratio_metrics():
+    baseline_path = default_baseline_path()
+    if baseline_path is None:
+        pytest.skip("no committed baseline (benchmarks/perf/baseline.json)")
+    baseline = load_result(baseline_path)
+    ratios = [k for k in baseline["metrics"] if metric_kind(k) == "ratio"]
+    assert ratios, "committed baseline carries no gateable ratio metrics"
+    assert os.path.basename(baseline_path) == "baseline.json"

@@ -1,0 +1,27 @@
+"""Performance-regression harness: ``repro bench``.
+
+Micro benchmarks time the monitor→identifier hot path (time-series
+lookups, aligned Pearson identification, rolling deviation stats, event
+engine throughput) against naive reference implementations; macro
+benchmarks time the fig9 control scenario and a fig11-scale run
+end-to-end.  Results are written to ``BENCH_<rev>.json`` and compared
+against the committed baseline (``benchmarks/perf/baseline.json``) with a
+tolerance gate — see docs/PERFORMANCE.md.
+
+Layout:
+
+:mod:`repro.bench.naive`
+    Reference (pre-optimization) implementations; also the oracle the
+    property tests check the optimized paths against.
+:mod:`repro.bench.micro` / :mod:`repro.bench.macro`
+    The benchmark definitions.
+:mod:`repro.bench.gate`
+    Baseline comparison and the regression tolerance gate.
+:mod:`repro.bench.runner`
+    Suite orchestration, JSON result files, and the CLI entry point.
+"""
+
+from repro.bench.gate import GateResult, compare
+from repro.bench.runner import run_suite, write_result
+
+__all__ = ["GateResult", "compare", "run_suite", "write_result"]

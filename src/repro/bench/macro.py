@@ -1,0 +1,88 @@
+"""Macro benchmarks: end-to-end scenario timings.
+
+Three scenarios, deliberately spanning the scales the paper evaluates:
+
+* ``control`` — the quickstart mitigation scenario (terasort + fio +
+  PerfCloud on one host) run with direct simulator access, so we can
+  report simulated-event throughput, not just wall-clock;
+* ``fig9`` — the small-scale dynamic-control comparison, exactly the
+  public ``figures.fig9`` entry point;
+* ``fig11_scale`` — a mid-size cut of the Fig. 11 large-scale experiment
+  (2 hosts / 12 workers / 8 jobs); ``full=True`` runs the figure's
+  default 5-host / 50-worker / 30-job dimensions instead.
+
+All scenarios are seed-fixed: wall-clock differences between revisions
+measure the code, not the workload draw.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict
+
+__all__ = ["run_macro"]
+
+
+def bench_control_scenario() -> Dict[str, float]:
+    """Quickstart mitigation scenario with engine counters exposed."""
+    from repro import (
+        CloudManager, Cluster, FioRandomRead, HdfsCluster, JobTracker,
+        PerfCloud, Priority, Simulator, teragen, terasort,
+    )
+
+    t0 = time.perf_counter()
+    sim = Simulator(dt=1.0, seed=7)
+    cluster = Cluster(sim)
+    cluster.add_host("server0")
+    cloud = CloudManager(cluster)
+    workers = cloud.boot_many("hdp", 6, priority=Priority.HIGH, app_id="hadoop")
+    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
+    jt = JobTracker(sim, workers, hdfs)
+    vm = cloud.boot("noisy")
+    vm.attach_workload(FioRandomRead())
+    PerfCloud(sim, cloud)
+    jt.submit(terasort(), teragen(640), num_reducers=10)
+    sim.run(2000)
+    wall = time.perf_counter() - t0
+    processed = sim.events_fired + sim.ticks
+    return {
+        "control.wall_s": wall,
+        "control.events_per_s": processed / wall,
+        "control.events": float(processed),
+    }
+
+
+def bench_fig9() -> Dict[str, float]:
+    """The small-scale control comparison through its public entry point."""
+    from repro.experiments import figures
+
+    t0 = time.perf_counter()
+    figures.fig9(seeds=(3, 7, 11))
+    return {"fig9.wall_s": time.perf_counter() - t0}
+
+
+def bench_fig11_scale(full: bool = False) -> Dict[str, float]:
+    """A fig11-scale multi-host run; ``full`` uses the figure defaults."""
+    from repro.experiments import figures
+
+    dims = {} if full else dict(
+        num_hosts=2, num_workers=12, num_mr_jobs=4, num_spark_jobs=4,
+        num_antagonist_pairs=2, horizon=6000.0,
+    )
+    t0 = time.perf_counter()
+    figures.fig11(seed=7, schemes=("late", "perfcloud"), **dims)
+    key = "fig11_full.wall_s" if full else "fig11_scale.wall_s"
+    return {key: time.perf_counter() - t0}
+
+
+def run_macro(full_fig11: bool = False) -> Dict[str, float]:
+    """Run every macro scenario; returns ``macro.``-prefixed metrics."""
+    out: Dict[str, float] = {}
+    for metrics in (
+        bench_control_scenario(),
+        bench_fig9(),
+        bench_fig11_scale(full=full_fig11),
+    ):
+        for metric, value in metrics.items():
+            out[f"macro.{metric}"] = value
+    return out

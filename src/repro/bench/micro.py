@@ -1,0 +1,226 @@
+"""Micro benchmarks for the simulator & control-plane hot paths.
+
+Each benchmark returns a flat ``{metric_name: value}`` dict.  Metrics
+ending in ``speedup_vs_naive`` are ratios of the naive reference to the
+optimized implementation measured in the same process on the same data —
+machine-independent, so the CI gate can check them tightly.  Absolute
+``*_ops_per_s`` / ``*_us_per_*`` numbers are machine-dependent and only
+gated in strict (same-machine) comparisons.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Tuple
+
+import numpy as np
+
+from repro.bench import naive
+from repro.core.config import PerfCloudConfig
+from repro.core.identification import AntagonistIdentifier
+from repro.metrics.correlation import MissingPolicy, aligned_pearson_many
+from repro.metrics.stats import RollingStats
+from repro.metrics.timeseries import TimeSeries
+from repro.sim.engine import Simulator
+
+__all__ = ["MICRO_BENCHMARKS", "run_micro"]
+
+#: Monitoring cadence used to synthesize realistic histories (seconds).
+_INTERVAL = 5.0
+
+
+def _best_of(fn: Callable[[], int], repeat: int) -> Tuple[float, int]:
+    """(best elapsed seconds, work units per run) over ``repeat`` runs."""
+    best = float("inf")
+    units = 1
+    for _ in range(max(1, repeat)):
+        t0 = time.perf_counter()
+        units = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, max(1, units)
+
+
+def _synth_series(make, n: int, seed: int, name: str = ""):
+    """A series of ``n`` samples at the monitor cadence with noisy values."""
+    rng = np.random.default_rng(seed)
+    ts = make(capacity=4096, name=name)
+    values = rng.random(n)
+    for i in range(n):
+        ts.append(_INTERVAL * (i + 1), float(values[i]))
+    return ts
+
+
+def bench_timeseries_lookup(repeat: int = 3) -> Dict[str, float]:
+    """Aligned resampling of a suspect history — the per-suspect inner op."""
+    n, window, calls = 720, 12, 400
+    fast = _synth_series(TimeSeries, n, seed=1)
+    slow = _synth_series(naive.NaiveTimeSeries, n, seed=1)
+    grid = np.asarray([_INTERVAL * (n - window + i + 1) for i in range(window)])
+
+    def run_fast() -> int:
+        for _ in range(calls):
+            fast.resampled_at(grid, missing=0.0)
+        return calls
+
+    def run_naive() -> int:
+        for _ in range(calls):
+            slow.resampled_at(grid, missing=0.0)
+        return calls
+
+    t_fast, units = _best_of(run_fast, repeat)
+    t_naive, _ = _best_of(run_naive, max(1, repeat - 2))
+    return {
+        "timeseries.resample_ops_per_s": units / t_fast,
+        "timeseries.resample_us_per_call": t_fast / units * 1e6,
+        "timeseries.speedup_vs_naive": t_naive / t_fast,
+    }
+
+
+def bench_identifier(repeat: int = 3) -> Dict[str, float]:
+    """One full identifier interval at fig11-ish scale.
+
+    Victim deviation signal of 720 samples correlated against 24 suspect
+    usage series (every low-priority VM on the host), window 12 — the
+    work `AntagonistIdentifier.identify` does every 5 simulated seconds.
+    """
+    n, n_suspects, window = 720, 24, 12
+    victim_fast = _synth_series(TimeSeries, n, seed=2, name="victim")
+    victim_naive = _synth_series(naive.NaiveTimeSeries, n, seed=2, name="victim")
+    fast_suspects = {
+        f"vm{i}": _synth_series(TimeSeries, n, seed=100 + i) for i in range(n_suspects)
+    }
+    naive_suspects = {
+        f"vm{i}": _synth_series(naive.NaiveTimeSeries, n, seed=100 + i)
+        for i in range(n_suspects)
+    }
+    config = PerfCloudConfig()
+    identifier = AntagonistIdentifier(config)
+    calls = 50
+
+    def run_fast() -> int:
+        for _ in range(calls):
+            identifier.identify("io", victim_fast, fast_suspects, now=1e9)
+        return calls
+
+    def run_naive() -> int:
+        # The pre-vectorization interval: per-suspect full-history rebuilds.
+        for _ in range(2):
+            naive.naive_identify_scores(
+                victim_naive, naive_suspects,
+                window=config.corr_window, policy=MissingPolicy.ZERO,
+            )
+        return 2
+
+    # Sanity: both paths must agree on the scores before we time them.
+    fast_scores = aligned_pearson_many(
+        victim_fast, fast_suspects,
+        window=config.corr_window, policy=MissingPolicy.ZERO,
+    )
+    naive_scores = naive.naive_identify_scores(
+        victim_naive, naive_suspects,
+        window=config.corr_window, policy=MissingPolicy.ZERO,
+    )
+    for vm, r in naive_scores.items():
+        if abs(fast_scores[vm] - r) > 1e-12:
+            raise AssertionError(
+                f"optimized identifier diverged from reference on {vm}: "
+                f"{fast_scores[vm]!r} vs {r!r}"
+            )
+
+    t_fast, u_fast = _best_of(run_fast, repeat)
+    t_naive, u_naive = _best_of(run_naive, max(1, repeat - 2))
+    us_fast = t_fast / u_fast * 1e6
+    us_naive = t_naive / u_naive * 1e6
+    return {
+        "identifier.us_per_interval": us_fast,
+        "identifier.naive_us_per_interval": us_naive,
+        "identifier.speedup_vs_naive": us_naive / us_fast,
+    }
+
+
+def bench_rolling_stats(repeat: int = 3) -> Dict[str, float]:
+    """Incremental rolling mean/std vs recomputing the tail every push."""
+    n, window = 20000, 12
+    rng = np.random.default_rng(3)
+    data = rng.random(n).tolist()
+
+    def run_fast() -> int:
+        rs = RollingStats(window)
+        sink = 0.0
+        for x in data:
+            rs.push(x)
+            sink += rs.std
+        return n
+
+    def run_naive() -> int:
+        seen: list = []
+        sink = 0.0
+        for x in data[: n // 10]:
+            seen.append(x)
+            sink += naive.naive_rolling_tail_stats(seen, window)[1]
+        return n // 10
+
+    t_fast, u_fast = _best_of(run_fast, repeat)
+    t_naive, u_naive = _best_of(run_naive, max(1, repeat - 2))
+    per_fast = t_fast / u_fast
+    per_naive = t_naive / u_naive
+    return {
+        "rolling.push_ops_per_s": 1.0 / per_fast,
+        "rolling.speedup_vs_naive": per_naive / per_fast,
+    }
+
+
+def bench_engine_events(repeat: int = 3) -> Dict[str, float]:
+    """Raw event throughput: periodic tasks + steppers + one-shot storms."""
+
+    def run_periodic() -> int:
+        sim = Simulator(dt=1.0, seed=0)
+
+        class _Stepper:
+            def step(self, dt: float) -> None:
+                pass
+
+        for _ in range(4):
+            sim.add_stepper(_Stepper())
+        for i in range(40):
+            sim.every(1.0 + (i % 7) * 0.5, lambda: None)
+        sim.run(2000.0)
+        return sim.events_fired + sim.ticks
+
+    def run_cancel_heavy() -> int:
+        # Three quarters of all scheduled work is cancelled before it
+        # fires — the speculative-clone pattern that exercises the lazy
+        # heap compaction.
+        sim = Simulator(dt=1.0, seed=0)
+        total = 40000
+        events = [sim.schedule(1.0 + (i % 997), lambda: None) for i in range(total)]
+        for i, ev in enumerate(events):
+            if i % 4:
+                ev.cancel()
+        sim.run(1000.0)
+        return total
+
+    t_p, u_p = _best_of(run_periodic, repeat)
+    t_c, u_c = _best_of(run_cancel_heavy, repeat)
+    return {
+        "engine.events_per_s": u_p / t_p,
+        "engine.cancel_heavy_events_per_s": u_c / t_c,
+    }
+
+
+#: name -> benchmark callable(repeat) returning {metric: value}.
+MICRO_BENCHMARKS = {
+    "timeseries": bench_timeseries_lookup,
+    "identifier": bench_identifier,
+    "rolling": bench_rolling_stats,
+    "engine": bench_engine_events,
+}
+
+
+def run_micro(repeat: int = 3) -> Dict[str, float]:
+    """Run every micro benchmark; returns ``micro.``-prefixed metrics."""
+    out: Dict[str, float] = {}
+    for name, fn in MICRO_BENCHMARKS.items():
+        for metric, value in fn(repeat).items():
+            out[f"micro.{metric}"] = value
+    return out

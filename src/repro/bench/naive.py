@@ -1,0 +1,144 @@
+"""Reference implementations of the optimized hot paths.
+
+These replicate, line for line, the shapes the code had before the
+vectorization pass: a deque-backed time series whose every lookup
+converts the full history, per-suspect Pearson alignment that rebuilds
+arrays per instant, and rolling deviation stats recomputed from the tail
+each interval.  They serve two purposes:
+
+* the **property tests** check the optimized implementations against
+  them over randomized sample streams (they are the behavioral oracle);
+* the **micro benchmarks** measure the speedup of the optimized paths
+  relative to them, a machine-independent ratio the CI gate can check.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.metrics.correlation import MissingPolicy, pearson
+
+__all__ = ["NaiveTimeSeries", "naive_aligned_pearson", "naive_rolling_tail_stats"]
+
+
+class NaiveTimeSeries:
+    """Deque-backed (time, value) store — the pre-optimization layout."""
+
+    def __init__(self, capacity: int = 4096, name: str = "") -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity!r}")
+        self.capacity = int(capacity)
+        self.name = name
+        self._times: Deque[float] = deque(maxlen=self.capacity)
+        self._values: Deque[float] = deque(maxlen=self.capacity)
+
+    def append(self, time: float, value: float) -> None:
+        if self._times and time < self._times[-1] - 1e-9:
+            raise ValueError(
+                f"non-monotonic append to {self.name or 'series'}: "
+                f"{time!r} after {self._times[-1]!r}"
+            )
+        self._times.append(float(time))
+        self._values.append(float(value))
+
+    def extend(self, samples: Iterable[Tuple[float, float]]) -> None:
+        for t, v in samples:
+            self.append(t, v)
+
+    def prune_before(self, cutoff: float) -> int:
+        dropped = 0
+        while self._times and self._times[0] < cutoff - 1e-9:
+            self._times.popleft()
+            self._values.popleft()
+            dropped += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times, dtype=float)
+
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values, dtype=float)
+
+    def tail(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
+        if n <= 0:
+            return np.empty(0), np.empty(0)
+        t = list(self._times)[-n:]
+        v = list(self._values)[-n:]
+        return np.asarray(t, dtype=float), np.asarray(v, dtype=float)
+
+    def window(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
+        t = self.times()
+        v = self.values()
+        mask = (t >= start - 1e-9) & (t <= end + 1e-9)
+        return t[mask], v[mask]
+
+    def value_at(self, time: float, tolerance: float = 1e-6) -> Optional[float]:
+        t = self.times()
+        if t.size == 0:
+            return None
+        idx = int(np.argmin(np.abs(t - time)))
+        if abs(t[idx] - time) <= tolerance:
+            return float(self.values()[idx])
+        return None
+
+    def resampled_at(self, times: Iterable[float], missing: float = 0.0) -> np.ndarray:
+        out: List[float] = []
+        for t in times:
+            v = self.value_at(t)
+            out.append(missing if v is None else v)
+        return np.asarray(out, dtype=float)
+
+
+def naive_aligned_pearson(
+    victim: NaiveTimeSeries,
+    suspect: NaiveTimeSeries,
+    *,
+    window: int = 12,
+    policy: MissingPolicy = MissingPolicy.ZERO,
+) -> float:
+    """Per-suspect alignment exactly as the pre-vectorization code did it."""
+    times, v_vals = victim.tail(window)
+    if times.size < 2:
+        return 0.0
+    if policy is MissingPolicy.ZERO:
+        s_vals = suspect.resampled_at(times, missing=0.0)
+        return pearson(v_vals, s_vals)
+    keep_v: List[float] = []
+    keep_s: List[float] = []
+    for t, v in zip(times, v_vals):
+        sv = suspect.value_at(t)
+        if sv is not None:
+            keep_v.append(v)
+            keep_s.append(sv)
+    return pearson(keep_v, keep_s)
+
+
+def naive_identify_scores(
+    victim: NaiveTimeSeries,
+    suspects: Mapping[str, NaiveTimeSeries],
+    *,
+    window: int = 12,
+    policy: MissingPolicy = MissingPolicy.ZERO,
+) -> dict:
+    """One identifier interval, the pre-vectorization way: a Python loop of
+    full-history rebuilds per suspect."""
+    return {
+        name: naive_aligned_pearson(victim, series, window=window, policy=policy)
+        for name, series in suspects.items()
+    }
+
+
+def naive_rolling_tail_stats(values: List[float], window: int) -> Tuple[float, float]:
+    """(mean, population std) of the last ``window`` values, from scratch."""
+    tail = np.asarray(values[-window:], dtype=float)
+    if tail.size == 0:
+        return 0.0, 0.0
+    mean = float(tail.mean())
+    std = float(tail.std()) if tail.size >= 2 else 0.0
+    return mean, std

@@ -8,6 +8,7 @@
     python -m repro fig11 --full-scale   # paper-size dimensions (slow)
     python -m repro sweep --workers 4    # β/γ closed-loop sensitivity grid
     python -m repro chaos                # Fig. 9 under fault injection
+    python -m repro bench --compare      # perf suite vs committed baseline
     python -m repro demo                 # the quickstart scenario
 
 Each figure command accepts ``--seed`` and prints the same tables the
@@ -285,6 +286,31 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="dump the raw result as JSON")
+    bench = sub.add_parser(
+        "bench",
+        help="hot-path benchmark suite + performance-regression gate "
+             "(see docs/PERFORMANCE.md)",
+    )
+    bench.add_argument("--micro-only", action="store_true",
+                       help="skip the macro (end-to-end scenario) layer")
+    bench.add_argument("--repeat", type=int, default=3, metavar="N",
+                       help="micro-benchmark repetitions (best-of; default 3)")
+    bench.add_argument("--full-macro", action="store_true",
+                       help="run fig11 at its figure-default dimensions (slow)")
+    bench.add_argument("--out", metavar="PATH", default=None,
+                       help="result file (default BENCH_<rev>.json)")
+    bench.add_argument("--compare", metavar="BASELINE", nargs="?",
+                       const="__default__", default=None,
+                       help="compare against a baseline result "
+                            "(default: the committed benchmarks/perf/baseline.json)")
+    bench.add_argument("--check", action="store_true",
+                       help="exit non-zero if any gated metric regressed "
+                            "(implies --compare)")
+    bench.add_argument("--strict", action="store_true",
+                       help="also gate machine-dependent absolute metrics "
+                            "(same-machine comparisons only)")
+    bench.add_argument("--tolerance", type=float, default=0.30, metavar="T",
+                       help="allowed relative regression (default 0.30)")
     for name, (_, desc, supports_full, supports_parallel) in _FIGURES.items():
         p = sub.add_parser(name, help=desc)
         p.add_argument("--seed", type=int, default=7)
@@ -307,7 +333,8 @@ def main(argv=None) -> int:
         print(render_table(["command", "reproduces"], rows))
         print("\nalso: `demo` — the quickstart scenario;"
               " `sweep` — the β/γ sensitivity grid;"
-              " `chaos` — the mitigation scenario under fault injection")
+              " `chaos` — the mitigation scenario under fault injection;"
+              " `bench` — the performance-regression suite")
         return 0
     if args.command == "demo":
         return _run_demo(args)
@@ -315,6 +342,13 @@ def main(argv=None) -> int:
         return _run_sweep(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "bench":
+        from repro.bench.runner import main as bench_main
+
+        args.compare_default = args.compare == "__default__"
+        if args.compare_default:
+            args.compare = None
+        return bench_main(args)
     runner, _, _, _ = _FIGURES[args.command]
     result = runner(args)
     _print_result(args.command, result)

@@ -19,7 +19,7 @@ from typing import Dict, List, Mapping
 
 from repro.core.config import PerfCloudConfig
 from repro.core.monitor import VmSample
-from repro.metrics.stats import group_std
+from repro.metrics.stats import RollingStats, group_std
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = ["DetectionResult", "InterferenceDetector"]
@@ -49,6 +49,11 @@ class InterferenceDetector:
         self.config = config
         #: Deviation history per app: {"io": TimeSeries, "cpi": TimeSeries}.
         self.signals: Dict[str, Dict[str, TimeSeries]] = {}
+        #: Incremental rolling mean/std of each deviation signal over the
+        #: identification window — updated in O(1) as samples arrive, so
+        #: per-interval consumers (adaptive thresholds, reporting) never
+        #: recompute ``np.std(signal.tail(w))`` from scratch.
+        self._rolling: Dict[str, Dict[str, RollingStats]] = {}
 
     def evaluate(
         self,
@@ -90,6 +95,15 @@ class InterferenceDetector:
             )
             sig["io"].append(now, iowait_std)
             sig["cpi"].append(now, cpi_std)
+            roll = self._rolling.setdefault(
+                app_id,
+                {
+                    "io": RollingStats(self.config.corr_window),
+                    "cpi": RollingStats(self.config.corr_window),
+                },
+            )
+            roll["io"].push(iowait_std)
+            roll["cpi"].push(cpi_std)
         return results
 
     def signal(self, app_id: str, kind: str) -> TimeSeries:
@@ -99,3 +113,11 @@ class InterferenceDetector:
         if app_id not in self.signals:
             raise KeyError(f"no signal history for app {app_id!r}")
         return self.signals[app_id][kind]
+
+    def rolling(self, app_id: str, kind: str) -> RollingStats:
+        """Incrementally-maintained window stats of one deviation signal."""
+        if kind not in ("io", "cpi"):
+            raise ValueError(f"kind must be 'io' or 'cpi', got {kind!r}")
+        if app_id not in self._rolling:
+            raise KeyError(f"no signal history for app {app_id!r}")
+        return self._rolling[app_id][kind]

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Set
 
 from repro.core.config import PerfCloudConfig
-from repro.metrics.correlation import MissingPolicy, aligned_pearson
+from repro.metrics.correlation import MissingPolicy, aligned_pearson_many
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = ["IdentificationResult", "AntagonistIdentifier"]
@@ -69,20 +69,24 @@ class AntagonistIdentifier:
         """
         if resource not in ("io", "cpu"):
             raise ValueError(f"resource must be 'io' or 'cpu', got {resource!r}")
-        correlations: Dict[str, float] = {}
         antagonists: Set[str] = set()
-        enough = len(victim_signal) >= self.config.corr_min_samples
-        for vm, series in suspects.items():
-            if not enough:
-                correlations[vm] = 0.0
-                continue
-            r = aligned_pearson(
-                victim_signal,
-                series,
-                window=self.config.corr_window,
-                policy=self.missing_policy,
+        if len(victim_signal) < self.config.corr_min_samples:
+            # Too little victim history: no scores, and deliberately no TTL
+            # refresh either — identification has not run this interval.
+            return IdentificationResult(
+                resource=resource,
+                correlations={vm: 0.0 for vm in suspects},
+                antagonists=antagonists,
             )
-            correlations[vm] = r
+        # One matrix-style pass: the victim tail is aligned once and every
+        # suspect is scored with a vectorized lookup over its history.
+        correlations = aligned_pearson_many(
+            victim_signal,
+            suspects,
+            window=self.config.corr_window,
+            policy=self.missing_policy,
+        )
+        for vm, r in correlations.items():
             key = (resource, vm)
             if r >= self.config.corr_threshold:
                 self._last_hit[key] = now

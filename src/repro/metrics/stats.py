@@ -9,17 +9,94 @@ peak-normalization used throughout the paper's figures.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections import deque
+from typing import Deque, Iterable, Optional, Sequence
 
 import numpy as np
 
 __all__ = [
+    "RollingStats",
     "group_std",
     "safe_ratio",
     "coefficient_of_variation",
     "normalize_by_peak",
     "percentile_summary",
 ]
+
+
+class RollingStats:
+    """Incremental mean/std over the last ``window`` pushed values.
+
+    Welford/West update: each :meth:`push` is O(1) — one value enters the
+    running (mean, M2) aggregates and, once the window is full, the
+    expired value leaves them — so per-interval deviation statistics never
+    re-reduce the whole tail.  ``window=None`` keeps cumulative stats over
+    everything ever pushed.
+
+    The detector maintains one per (application, signal) so every control
+    interval reads the current rolling baseline in O(1) instead of
+    recomputing ``np.std(tail)`` from scratch.
+    """
+
+    __slots__ = ("window", "_ring", "_n", "_mean", "_m2")
+
+    def __init__(self, window: Optional[int] = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1, got {window!r}")
+        self.window = window
+        self._ring: Optional[Deque[float]] = deque() if window is not None else None
+        self._n = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        """Admit one sample, expiring the oldest once the window is full."""
+        x = float(value)
+        if self._ring is not None:
+            self._ring.append(x)
+            if len(self._ring) > self.window:
+                self._remove(self._ring.popleft())
+        self._n += 1
+        delta = x - self._mean
+        self._mean += delta / self._n
+        self._m2 += delta * (x - self._mean)
+
+    def _remove(self, x: float) -> None:
+        if self._n == 1:
+            self._n, self._mean, self._m2 = 0, 0.0, 0.0
+            return
+        old_mean = self._mean
+        self._n -= 1
+        self._mean = (old_mean * (self._n + 1) - x) / self._n
+        self._m2 -= (x - self._mean) * (x - old_mean)
+        if self._m2 < 0.0:  # guard tiny negative float residue
+            self._m2 = 0.0
+
+    @property
+    def n(self) -> int:
+        """How many samples are currently inside the window."""
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        """Mean of the windowed samples (0.0 when empty)."""
+        return self._mean if self._n else 0.0
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the windowed samples (0.0 when n < 2)."""
+        if self._n < 2:
+            return 0.0
+        return self._m2 / self._n
+
+    @property
+    def std(self) -> float:
+        """Population standard deviation of the windowed samples."""
+        return float(np.sqrt(self.variance))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RollingStats(window={self.window}, n={self._n}, "
+                f"mean={self.mean:.6g}, std={self.std:.6g})")
 
 
 def group_std(values: Iterable[float]) -> float:

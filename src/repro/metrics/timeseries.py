@@ -4,16 +4,36 @@ The performance monitor keeps one :class:`TimeSeries` per (VM, metric).
 Samples arrive at the 5-second monitoring cadence; the identifier reads
 aligned tails of a victim series and each suspect series.  A bounded
 capacity keeps long simulations O(1) in memory per metric.
+
+Storage layout
+--------------
+Samples live in a pair of contiguous ``float64`` ndarrays; the live
+region is ``buf[start:end]``.  Appends write at ``end`` in O(1); when the
+buffer is exhausted the live region is compacted to the front (or the
+buffer doubled, up to ``2 * capacity``), so appends stay amortized O(1).
+Because times are non-decreasing, every read — :meth:`tail`,
+:meth:`window`, :meth:`value_at`, :meth:`lookup`, :meth:`prune_before` —
+is a binary search (``np.searchsorted``) plus an O(1) slice instead of a
+full conversion of the history.
+
+Reads return **cached read-only views** of the backing arrays, rebuilt
+lazily after each mutation.  A view is valid until the next ``append`` /
+``extend`` / ``prune_before``; copy it if you need it to survive one.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Deque, Iterable, Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
 __all__ = ["TimeSeries"]
+
+#: Default time tolerance for exact-instant lookups (seconds).
+_LOOKUP_TOL = 1e-6
+
+_EMPTY = np.empty(0)
+_EMPTY.flags.writeable = False
 
 
 class TimeSeries:
@@ -27,13 +47,21 @@ class TimeSeries:
         Optional label used in error messages and repr.
     """
 
+    __slots__ = ("capacity", "name", "_buf_t", "_buf_v", "_start", "_end",
+                 "_view_t", "_view_v")
+
     def __init__(self, capacity: int = 4096, name: str = "") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.capacity = int(capacity)
         self.name = name
-        self._times: Deque[float] = deque(maxlen=self.capacity)
-        self._values: Deque[float] = deque(maxlen=self.capacity)
+        size = min(2 * self.capacity, 16)
+        self._buf_t = np.empty(size)
+        self._buf_v = np.empty(size)
+        self._start = 0
+        self._end = 0
+        self._view_t: Optional[np.ndarray] = None
+        self._view_v: Optional[np.ndarray] = None
 
     # ----------------------------------------------------------------- write
     def append(self, time: float, value: float) -> None:
@@ -42,13 +70,20 @@ class TimeSeries:
         Times must be non-decreasing — the monitor samples on a clock, so a
         regression indicates a bug upstream.
         """
-        if self._times and time < self._times[-1] - 1e-9:
+        t = float(time)
+        if self._end > self._start and t < self._buf_t[self._end - 1] - 1e-9:
             raise ValueError(
                 f"non-monotonic append to {self.name or 'series'}: "
-                f"{time!r} after {self._times[-1]!r}"
+                f"{time!r} after {self._buf_t[self._end - 1]!r}"
             )
-        self._times.append(float(time))
-        self._values.append(float(value))
+        if self._end == self._buf_t.size:
+            self._make_room()
+        self._buf_t[self._end] = t
+        self._buf_v[self._end] = float(value)
+        self._end += 1
+        if self._end - self._start > self.capacity:
+            self._start += 1  # capacity eviction: oldest out first
+        self._view_t = self._view_v = None
 
     def extend(self, samples: Iterable[Tuple[float, float]]) -> None:
         """Append many (time, value) samples in order."""
@@ -60,67 +95,110 @@ class TimeSeries:
 
         Retention pruning for long-running monitors: the capacity bound
         caps memory per series, this caps *staleness* (a VM that idles
-        for hours must not keep hour-old samples alive forever).
+        for hours must not keep hour-old samples alive forever).  O(log n):
+        the cut point is a binary search and eviction just advances the
+        live region's start.
         """
-        dropped = 0
-        while self._times and self._times[0] < cutoff - 1e-9:
-            self._times.popleft()
-            self._values.popleft()
-            dropped += 1
+        t = self._times_view()
+        dropped = int(np.searchsorted(t, cutoff - 1e-9, side="left"))
+        if dropped:
+            self._start += dropped
+            self._view_t = self._view_v = None
         return dropped
 
     # ------------------------------------------------------------------ read
     def __len__(self) -> int:
-        return len(self._times)
+        return self._end - self._start
 
     def __bool__(self) -> bool:
-        return len(self._times) > 0
+        return self._end > self._start
 
     def __iter__(self) -> Iterator[Tuple[float, float]]:
-        return iter(zip(self._times, self._values))
+        return iter(zip(self._times_view().tolist(), self._values_view().tolist()))
 
     @property
     def last_time(self) -> Optional[float]:
         """Timestamp of the newest sample, or None when empty."""
-        return self._times[-1] if self._times else None
+        return float(self._buf_t[self._end - 1]) if self._end > self._start else None
 
     @property
     def last_value(self) -> Optional[float]:
         """Newest sample value, or None when empty."""
-        return self._values[-1] if self._values else None
+        return float(self._buf_v[self._end - 1]) if self._end > self._start else None
 
     def times(self) -> np.ndarray:
         """All retained timestamps as a float array (copy)."""
-        return np.asarray(self._times, dtype=float)
+        return self._times_view().copy()
 
     def values(self) -> np.ndarray:
         """All retained values as a float array (copy)."""
-        return np.asarray(self._values, dtype=float)
+        return self._values_view().copy()
+
+    def arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """``(times, values)`` as read-only views — the zero-copy fast path.
+
+        Valid until the next mutation of this series; copy to keep longer.
+        """
+        return self._times_view(), self._values_view()
 
     def tail(self, n: int) -> Tuple[np.ndarray, np.ndarray]:
-        """The most recent ``n`` samples as ``(times, values)`` arrays."""
+        """The most recent ``n`` samples as read-only ``(times, values)`` views."""
         if n <= 0:
-            return np.empty(0), np.empty(0)
-        t = list(self._times)[-n:]
-        v = list(self._values)[-n:]
-        return np.asarray(t, dtype=float), np.asarray(v, dtype=float)
+            return _EMPTY, _EMPTY
+        lo = max(0, len(self) - int(n))
+        return self._times_view()[lo:], self._values_view()[lo:]
 
     def window(self, start: float, end: float) -> Tuple[np.ndarray, np.ndarray]:
-        """Samples with ``start <= time <= end`` as ``(times, values)``."""
-        t = self.times()
-        v = self.values()
-        mask = (t >= start - 1e-9) & (t <= end + 1e-9)
-        return t[mask], v[mask]
+        """Samples with ``start <= time <= end`` as read-only views."""
+        t = self._times_view()
+        lo = int(np.searchsorted(t, start - 1e-9, side="left"))
+        hi = int(np.searchsorted(t, end + 1e-9, side="right"))
+        return t[lo:hi], self._values_view()[lo:hi]
 
-    def value_at(self, time: float, tolerance: float = 1e-6) -> Optional[float]:
-        """The value sampled at ``time`` (within ``tolerance``), else None."""
-        t = self.times()
+    def value_at(self, time: float, tolerance: float = _LOOKUP_TOL) -> Optional[float]:
+        """The value sampled at ``time`` (within ``tolerance``), else None.
+
+        O(log n): binary search for the nearest timestamp (first occurrence
+        on ties, matching the historical argmin-based lookup).
+        """
+        t = self._times_view()
         if t.size == 0:
             return None
-        idx = int(np.argmin(np.abs(t - time)))
+        idx = self._nearest_index(t, float(time))
         if abs(t[idx] - time) <= tolerance:
-            return float(self.values()[idx])
+            return float(self._values_view()[idx])
         return None
+
+    def lookup(
+        self, times: Iterable[float], tolerance: float = _LOOKUP_TOL
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`value_at` over many instants.
+
+        Returns ``(values, present)`` where ``present[i]`` says whether a
+        sample exists within ``tolerance`` of ``times[i]``; absent entries
+        of ``values`` are 0.  One ``np.searchsorted`` pass for the whole
+        query — the building block of suspect/victim alignment.
+        """
+        q = np.asarray(
+            times if isinstance(times, (np.ndarray, list, tuple)) else list(times),
+            dtype=float,
+        )
+        t = self._times_view()
+        out = np.zeros(q.size)
+        if t.size == 0 or q.size == 0:
+            return out, np.zeros(q.size, dtype=bool)
+        ins = np.searchsorted(t, q, side="left")
+        left = np.clip(ins - 1, 0, t.size - 1)
+        right = np.clip(ins, 0, t.size - 1)
+        pick_left = (ins > 0) & (
+            (ins == t.size) | (np.abs(t[left] - q) <= np.abs(t[right] - q))
+        )
+        idx = np.where(pick_left, left, right)
+        # First occurrence among duplicate timestamps, as argmin would pick.
+        idx = np.searchsorted(t, t[idx], side="left")
+        present = np.abs(t[idx] - q) <= tolerance
+        out[present] = self._values_view()[idx[present]]
+        return out, present
 
     def resampled_at(self, times: Iterable[float], missing: float = 0.0) -> np.ndarray:
         """Values at each requested time, ``missing`` where absent.
@@ -129,14 +207,67 @@ class TimeSeries:
         with no measured LLC activity at an instant contributes 0, not a
         hole (§III-B).
         """
-        out: List[float] = []
-        for t in times:
-            v = self.value_at(t)
-            out.append(missing if v is None else v)
-        return np.asarray(out, dtype=float)
+        values, present = self.lookup(times)
+        if missing != 0.0:
+            values[~present] = missing
+        return values
+
+    # ------------------------------------------------------------- internals
+    @staticmethod
+    def _nearest_index(t: np.ndarray, time: float) -> int:
+        """Index of the timestamp nearest ``time`` (first occurrence on ties)."""
+        ins = int(np.searchsorted(t, time, side="left"))
+        if ins == t.size:
+            idx = ins - 1
+        elif ins > 0 and abs(t[ins - 1] - time) <= abs(t[ins] - time):
+            idx = ins - 1
+        else:
+            idx = ins
+        if idx > 0 and t[idx - 1] == t[idx]:
+            idx = int(np.searchsorted(t, t[idx], side="left"))
+        return idx
+
+    def _times_view(self) -> np.ndarray:
+        if self._view_t is None:
+            v = self._buf_t[self._start:self._end]
+            v.flags.writeable = False
+            self._view_t = v
+        return self._view_t
+
+    def _values_view(self) -> np.ndarray:
+        if self._view_v is None:
+            v = self._buf_v[self._start:self._end]
+            v.flags.writeable = False
+            self._view_v = v
+        return self._view_v
+
+    def _make_room(self) -> None:
+        """Compact the live region to the front, growing up to 2x capacity.
+
+        At the steady-state buffer size (``2 * capacity``) a compaction
+        moves at most ``capacity`` live samples after at least ``capacity``
+        appends, keeping appends amortized O(1); the compacted regions
+        never overlap because eviction bounds the live region to half the
+        buffer.
+        """
+        n = self._end - self._start
+        size = self._buf_t.size
+        if n > size // 2:  # buffer mostly live: grow (never past 2x capacity)
+            new_size = min(max(2 * size, 16), 2 * self.capacity)
+            new_t = np.empty(new_size)
+            new_v = np.empty(new_size)
+            new_t[:n] = self._buf_t[self._start:self._end]
+            new_v[:n] = self._buf_v[self._start:self._end]
+            self._buf_t, self._buf_v = new_t, new_v
+        else:  # disjoint regions (start >= n): shift live samples down
+            self._buf_t[:n] = self._buf_t[self._start:self._end]
+            self._buf_v[:n] = self._buf_v[self._start:self._end]
+        self._start, self._end = 0, n
+        self._view_t = self._view_v = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         span = ""
-        if self._times:
-            span = f", t=[{self._times[0]:.1f}, {self._times[-1]:.1f}]"
+        if self._end > self._start:
+            span = (f", t=[{self._buf_t[self._start]:.1f}, "
+                    f"{self._buf_t[self._end - 1]:.1f}]")
         return f"TimeSeries({self.name!r}, n={len(self)}{span})"

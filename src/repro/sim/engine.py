@@ -26,8 +26,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Protocol
+from typing import Callable, List, Optional, Protocol, Tuple
 
 __all__ = ["SimError", "Event", "PeriodicTask", "Stepper", "Simulator", "TICK_PRIORITY"]
 
@@ -43,32 +42,58 @@ class SimError(RuntimeError):
     """Raised for simulator misuse (time travel, running a finished sim...)."""
 
 
-@dataclass(order=False)
 class Event:
     """A scheduled callback.
 
     Events are handles: hold on to one to :meth:`cancel` it.  Comparisons
     are performed on ``(time, priority, seq)`` so the heap ordering is
-    total and deterministic.
+    total and deterministic.  ``__slots__`` plus a sort key precomputed at
+    construction keep the per-event footprint and every heap sift
+    comparison cheap — events are the engine's highest-volume allocation.
     """
 
-    time: float
-    priority: int
-    seq: int
-    callback: Callable[[], None] = field(compare=False)
-    name: str = field(default="", compare=False)
-    cancelled: bool = field(default=False, compare=False)
+    __slots__ = ("time", "priority", "seq", "callback", "name", "cancelled",
+                 "_key", "_sim")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[[], None],
+        name: str = "",
+        sim: "Optional[Simulator]" = None,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.name = name
+        self.cancelled = False
+        self._key: Tuple[float, int, int] = (time, priority, seq)
+        #: Owning simulator while pending on its heap (None once fired);
+        #: lets :meth:`cancel` feed the lazy-compaction accounting.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (no-op if already fired)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def sort_key(self) -> tuple:
         """Total deterministic ordering: (time, priority, seq)."""
-        return (self.time, self.priority, self.seq)
+        return self._key
 
     def __lt__(self, other: "Event") -> bool:
-        return self.sort_key() < other.sort_key()
+        return self._key < other._key
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flag = " cancelled" if self.cancelled else ""
+        return (f"Event(t={self.time!r}, prio={self.priority}, "
+                f"seq={self.seq}, name={self.name!r}{flag})")
 
 
 class Stepper(Protocol):
@@ -104,6 +129,11 @@ class PeriodicTask:
         self.priority = priority
         self._stopped = False
         first = sim.now + interval if start is None else start
+        #: Fire times are computed as ``epoch + k * interval`` rather than
+        #: by repeatedly adding ``interval`` to "now", so floating-point
+        #: error does not accumulate across thousands of occurrences.
+        self._epoch = float(first)
+        self._fired = 0
         self._event = sim.schedule_at(first, self._fire, name=self.name, priority=priority)
 
     @property
@@ -121,14 +151,20 @@ class PeriodicTask:
     def _fire(self) -> None:
         if self._stopped:
             return
+        self._fired += 1
         try:
             self.callback()
         except StopIteration:
             self._stopped = True
             return
         if not self._stopped:
-            self._event = self._sim.schedule(
-                self.interval, self._fire, name=self.name, priority=self.priority
+            # Drift-free occurrence grid: each fire time is derived from
+            # the first one, never from the previous (possibly rounded)
+            # fire time.  The max() guards the (pathological) case where
+            # epoch + k*interval rounds below the current instant.
+            next_time = max(self._epoch + self._fired * self.interval, self._sim.now)
+            self._event = self._sim.schedule_at(
+                next_time, self._fire, name=self.name, priority=self.priority
             )
 
 
@@ -157,6 +193,14 @@ class Simulator:
         self._heap: List[Event] = []
         self._seq = itertools.count()
         self._steppers: List[Stepper] = []
+        #: The stepper list being iterated by an in-flight fluid tick; a
+        #: mutation during the tick replaces :attr:`_steppers` instead of
+        #: editing this snapshot (copy-on-mutation), so the common case —
+        #: no mutation — pays for no per-tick list copy.
+        self._stepping: Optional[List[Stepper]] = None
+        #: Cancelled events still sitting in the heap; when they outnumber
+        #: the live ones the heap is compacted in one pass.
+        self._cancelled_pending = 0
         self._running = False
         self._tick_event: Optional[Event] = None
         self.rng = RngRegistry(seed)
@@ -206,6 +250,7 @@ class Simulator:
             seq=next(self._seq),
             callback=callback,
             name=name or getattr(callback, "__name__", "event"),
+            sim=self,
         )
         heapq.heappush(self._heap, ev)
         return ev
@@ -232,10 +277,14 @@ class Simulator:
         """
         if not hasattr(stepper, "step"):
             raise SimError(f"stepper must expose a step(dt) method: {stepper!r}")
+        if self._steppers is self._stepping:
+            self._steppers = list(self._steppers)
         self._steppers.append(stepper)
 
     def remove_stepper(self, stepper: Stepper) -> None:
         """Unregister a fluid-layer component."""
+        if self._steppers is self._stepping:
+            self._steppers = list(self._steppers)
         self._steppers.remove(stepper)
 
     # ------------------------------------------------------------------- run
@@ -255,7 +304,9 @@ class Simulator:
                 self._arm_tick(self._now + self.dt)
             while self._heap and self._heap[0].time <= until + 1e-12:
                 ev = heapq.heappop(self._heap)
+                ev._sim = None  # off the heap: cancel() is a plain flag now
                 if ev.cancelled:
+                    self._cancelled_pending -= 1
                     continue
                 if ev.time < self._now - 1e-9:
                     raise SimError("event heap corrupted: time went backwards")
@@ -277,9 +328,30 @@ class Simulator:
             at, self._do_tick, name="fluid-tick", priority=TICK_PRIORITY
         )
 
+    def _note_cancelled(self) -> None:
+        """A pending event was cancelled; compact the heap if it is mostly dead.
+
+        Compaction filters the cancelled entries and re-heapifies — the
+        (time, priority, seq) total order of the survivors is unchanged, so
+        firing order is exactly what it would have been without compaction.
+        Triggered lazily so bursts of cancellations (speculative clones,
+        stopped periodic tasks) stay O(1) each.
+        """
+        self._cancelled_pending += 1
+        if (self._cancelled_pending > 64
+                and self._cancelled_pending * 2 > len(self._heap)):
+            self._heap = [e for e in self._heap if not e.cancelled]
+            heapq.heapify(self._heap)
+            self._cancelled_pending = 0
+
     def _do_tick(self) -> None:
-        for stepper in list(self._steppers):
-            stepper.step(self.dt)
+        steppers = self._steppers
+        self._stepping = steppers
+        try:
+            for stepper in steppers:
+                stepper.step(self.dt)
+        finally:
+            self._stepping = None
         self.ticks += 1
         if self._steppers:
             self._arm_tick(self._now + self.dt)

@@ -1,0 +1,201 @@
+"""Engine internals: lazy heap compaction, no-copy tick, drift-free periodics.
+
+The optimized engine must be observationally identical to the simple one:
+compaction may reorganize the heap but never the (time, priority, seq)
+firing order, and steppers mutated from inside a ``step()`` callback see
+exactly the snapshot semantics the old per-tick ``list()`` copy gave.
+"""
+
+import pytest
+
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(dt=1.0, seed=0)
+
+
+# ------------------------------------------------------- heap compaction
+def test_mass_cancellation_triggers_compaction(sim):
+    keep = []
+    events = []
+    for i in range(400):
+        t = 1.0 + (i % 17) * 0.25
+        ev = sim.schedule(t, (lambda j=i: keep.append(j)))
+        events.append((t, i, ev))
+    for _, i, ev in events:
+        if i % 5 != 0:
+            ev.cancel()
+    # Compaction must have dropped the dead entries from the heap itself,
+    # not merely flagged them.
+    assert len(sim._heap) < 400
+    assert sim._cancelled_pending < 320
+    sim.run(10.0)
+    expected = [i for (t, i, _) in sorted(events, key=lambda e: (e[0], e[1]))
+                if i % 5 == 0]
+    assert keep == expected
+
+
+def test_compaction_preserves_time_priority_seq_order(sim):
+    fired = []
+    events = []
+    # Interleave priorities and times so heap order is non-trivial.
+    for i in range(300):
+        ev = sim.schedule(
+            5.0 - (i % 3), (lambda j=i: fired.append(j)), priority=10 + (i % 4)
+        )
+        events.append((5.0 - (i % 3), 10 + (i % 4), i, ev))
+    cancelled = {i for (_, _, i, _) in events if i % 7 < 5}
+    for _, _, i, ev in events:
+        if i in cancelled:
+            ev.cancel()
+    sim.run(10.0)
+    expected = [i for (t, p, i, _) in sorted(events, key=lambda e: (e[0], e[1], e[2]))
+                if i not in cancelled]
+    assert fired == expected
+
+
+def test_cancel_from_inside_callback_mid_run(sim):
+    fired = []
+    later = [sim.schedule(5.0 + (i % 9) * 0.5, (lambda j=i: fired.append(j)))
+             for i in range(200)]
+
+    def axe():
+        for i, ev in enumerate(later):
+            if i % 2:
+                ev.cancel()
+
+    sim.schedule(1.0, axe)
+    sim.run(20.0)
+    assert sorted(fired) == [i for i in range(200) if i % 2 == 0]
+
+
+def test_double_cancel_is_idempotent(sim):
+    ev = sim.schedule(1.0, lambda: None)
+    ev.cancel()
+    pending = sim._cancelled_pending
+    ev.cancel()
+    assert sim._cancelled_pending == pending
+    sim.run(2.0)
+    assert sim._cancelled_pending == 0
+
+
+def test_cancel_after_fire_is_noop(sim):
+    fired = []
+    ev = sim.schedule(1.0, lambda: fired.append(1))
+    sim.run(2.0)
+    ev.cancel()  # already fired: plain flag, no heap accounting
+    assert sim._cancelled_pending == 0
+    assert fired == [1]
+
+
+def test_event_slots_reject_new_attributes(sim):
+    ev = sim.schedule(1.0, lambda: None)
+    with pytest.raises(AttributeError):
+        ev.arbitrary_attribute = 1
+
+
+# ------------------------------------------------- steppers under no-copy tick
+class _Recorder:
+    def __init__(self, log, label):
+        self.log = log
+        self.label = label
+
+    def step(self, dt):
+        self.log.append(self.label)
+
+
+def test_add_stepper_from_step_callback_starts_next_tick(sim):
+    log = []
+
+    class Adder:
+        def __init__(self):
+            self.done = False
+
+        def step(self, dt):
+            log.append("adder")
+            if not self.done:
+                self.done = True
+                sim.add_stepper(_Recorder(log, "late"))
+
+    sim.add_stepper(Adder())
+    sim.run(1.0)
+    # The stepper added during tick 1 must not run within tick 1...
+    assert log == ["adder"]
+    sim.run(2.0)
+    # ...but joins from tick 2 on.
+    assert log == ["adder", "adder", "late"]
+
+
+def test_remove_other_stepper_from_step_keeps_snapshot_semantics(sim):
+    log = []
+    victim = _Recorder(log, "victim")
+
+    class Remover:
+        def __init__(self):
+            self.done = False
+
+        def step(self, dt):
+            log.append("remover")
+            if not self.done:
+                self.done = True
+                sim.remove_stepper(victim)
+
+    sim.add_stepper(Remover())
+    sim.add_stepper(victim)
+    sim.run(1.0)
+    # Same-tick snapshot: the victim still steps in the tick that removed it
+    # (exactly what the historical list() copy guaranteed)...
+    assert log == ["remover", "victim"]
+    sim.run(2.0)
+    # ...and is gone afterwards.
+    assert log == ["remover", "victim", "remover"]
+
+
+def test_remove_self_from_step_is_safe(sim):
+    log = []
+
+    class OneShot:
+        def step(self, dt):
+            log.append("oneshot")
+            sim.remove_stepper(self)
+
+    sim.add_stepper(OneShot())
+    sim.add_stepper(_Recorder(log, "steady"))
+    sim.run(3.0)
+    assert log == ["oneshot", "steady", "steady", "steady"]
+
+
+def test_stepper_list_not_copied_on_quiet_ticks(sim):
+    before = sim._steppers
+    sim.add_stepper(_Recorder([], "a"))
+    lst = sim._steppers
+    sim.run(5.0)
+    # No mutation during any tick: the engine kept the very same list.
+    assert sim._steppers is lst
+    assert before is lst  # add_stepper outside a tick mutates in place
+
+
+# --------------------------------------------------------- periodic drift
+def test_periodic_task_fires_on_exact_grid_without_drift(sim):
+    times = []
+    interval = 0.1
+    sim.every(interval, lambda: times.append(sim.now))
+    sim.run(200.0)
+    assert len(times) == 2000
+    epoch = interval
+    for k in (0, 1, 2, 499, 1000, 1999):
+        # Drift-free by construction: every fire sits exactly on
+        # epoch + k*interval, however many occurrences have passed.
+        assert times[k] == epoch + k * interval
+    assert abs(times[-1] - 200.0) < 1e-9
+
+
+def test_periodic_task_custom_start_grid(sim):
+    times = []
+    sim.every(0.3, lambda: times.append(sim.now), start=1.0)
+    sim.run(10.0)
+    assert times[0] == 1.0
+    for k, t in enumerate(times):
+        assert t == 1.0 + k * 0.3
