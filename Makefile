@@ -7,7 +7,7 @@ CACHE_DIR ?= .repro-cache
 # Run straight from the source tree — no `pip install -e .` needed.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test chaos bench bench-figures bench-figures-full examples figures sweep clean
+.PHONY: install test chaos bench bench-quick bench-figures bench-figures-full examples figures sweep clean
 
 install:
 	pip install -e .
@@ -28,6 +28,11 @@ chaos:
 bench:
 	$(PY) -m pytest -q benchmarks/perf/
 	$(PY) -m repro bench --compare --check
+
+# Fastest useful signal while iterating: micro suite only, one
+# repetition, gated against the committed baseline.
+bench-quick:
+	$(PY) -m repro bench --quick --compare --check
 
 # Figure-reproduction benchmarks (pytest-benchmark; print paper-vs-measured
 # tables and assert qualitative shape — these are accuracy checks, not the

@@ -20,8 +20,14 @@ from typing import Deque, Iterable, List, Mapping, Optional, Tuple
 import numpy as np
 
 from repro.metrics.correlation import MissingPolicy, pearson
+from repro.metrics.timeseries import TimeSeries
 
-__all__ = ["NaiveTimeSeries", "naive_aligned_pearson", "naive_rolling_tail_stats"]
+__all__ = [
+    "NaiveTimeSeries",
+    "naive_aligned_pearson",
+    "naive_history_ingest",
+    "naive_rolling_tail_stats",
+]
 
 
 class NaiveTimeSeries:
@@ -132,6 +138,22 @@ def naive_identify_scores(
         name: naive_aligned_pearson(victim, series, window=window, policy=policy)
         for name, series in suspects.items()
     }
+
+
+def naive_history_ingest(history: dict, now: float, samples: Mapping) -> None:
+    """The pre-columnar monitor write path: one row-store append per
+    (VM, metric) cell, creating series lazily — exactly the shape the
+    monitor had before the :class:`~repro.metrics.plane.MetricPlane`
+    batched the whole interval into one column write."""
+    for vm, column in samples.items():
+        series = history.get(vm)
+        if series is None:
+            series = history[vm] = {}
+        for metric, value in column.items():
+            ts = series.get(metric)
+            if ts is None:
+                ts = series[metric] = TimeSeries(name=f"{vm}.{metric}")
+            ts.append(now, value)
 
 
 def naive_rolling_tail_stats(values: List[float], window: int) -> Tuple[float, float]:

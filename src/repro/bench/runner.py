@@ -159,10 +159,11 @@ def format_gate(gate: GateResult, baseline_rev: str) -> str:
 
 def main(args) -> int:
     """``repro bench`` implementation; returns a process exit code."""
+    quick = getattr(args, "quick", False)
     result = run_suite(
         micro=True,
-        macro=not args.micro_only,
-        repeat=args.repeat,
+        macro=not (args.micro_only or quick),
+        repeat=1 if quick else args.repeat,
         full_fig11=args.full_macro,
     )
     print(format_metrics(result))

@@ -293,6 +293,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     bench.add_argument("--micro-only", action="store_true",
                        help="skip the macro (end-to-end scenario) layer")
+    bench.add_argument("--quick", action="store_true",
+                       help="fastest useful signal: micro suite only, "
+                            "single repetition (equivalent to "
+                            "--micro-only --repeat 1)")
     bench.add_argument("--repeat", type=int, default=3, metavar="N",
                        help="micro-benchmark repetitions (best-of; default 3)")
     bench.add_argument("--full-macro", action="store_true",

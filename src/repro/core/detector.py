@@ -15,10 +15,11 @@ behind Figs. 3, 4 and 9.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping
+from typing import Dict, List, Mapping, Optional
 
 from repro.core.config import PerfCloudConfig
 from repro.core.monitor import VmSample
+from repro.metrics.plane import MetricPlane
 from repro.metrics.stats import RollingStats, group_std
 from repro.metrics.timeseries import TimeSeries
 
@@ -60,6 +61,7 @@ class InterferenceDetector:
         now: float,
         samples: Mapping[str, VmSample],
         app_members: Mapping[str, List[str]],
+        plane: Optional[MetricPlane] = None,
     ) -> Dict[str, DetectionResult]:
         """Compute deviations for each high-priority application.
 
@@ -69,14 +71,29 @@ class InterferenceDetector:
             Per-VM smoothed metrics from the performance monitor.
         app_members:
             app_id -> names of that application's VMs on this host.
+        plane:
+            Optional columnar store whose newest column holds this
+            interval's samples.  When it is fresh at ``now`` the member
+            values come from two masked-column reads instead of per-VM
+            dict probes; the result is identical (the column holds the
+            very floats the samples carry, and presence in the
+            ``iowait_ratio`` column is exactly membership in
+            ``samples``).
         """
         results: Dict[str, DetectionResult] = {}
+        use_plane = plane is not None and plane.last_time == now
         for app_id, members in app_members.items():
-            present = [m for m in members if m in samples]
-            iowait_std = group_std(samples[m].iowait_ratio for m in present)
-            cpi_std = group_std(
-                samples[m].cpi for m in present if samples[m].cpi > 0
-            )
+            if use_plane:
+                io_col = plane.latest("iowait_ratio", members)
+                cpi_col = plane.latest("cpi", members)
+                iowait_std = group_std(io_col.values())
+                cpi_std = group_std(v for v in cpi_col.values() if v > 0)
+            else:
+                present = [m for m in members if m in samples]
+                iowait_std = group_std(samples[m].iowait_ratio for m in present)
+                cpi_std = group_std(
+                    samples[m].cpi for m in present if samples[m].cpi > 0
+                )
             result = DetectionResult(
                 app_id=app_id,
                 time=now,

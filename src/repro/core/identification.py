@@ -17,18 +17,65 @@ Two fidelity details from the paper:
 Identified antagonists carry a TTL: they stay throttle-eligible while
 the controller works even if the (now throttled) suspect's own signal
 flattens out.
+
+Incremental scoring
+-------------------
+Under the paper's missing-as-zero policy the per-interval update is
+O(1) per (victim, suspect) pair: the identifier caches each suspect's
+aligned value ring against the victim's tail grid, and when the grid
+advances by one instant (the steady state: one new deviation sample per
+control interval) it shifts the ring, looks up the single new instant
+and re-runs the *same* Pearson kernel — producing bit-identical scores
+to :func:`~repro.metrics.correlation.aligned_pearson_many` because the
+input vectors are elementwise identical.  The cached ring is reused only
+when it provably still matches what a fresh alignment would produce:
+
+* the suspect series object is the same one (``ref is``) and has evicted
+  nothing (``dropped`` unchanged) — eviction could change which sample
+  is nearest an old instant;
+* either no samples were appended, or every possible new sample lies
+  strictly beyond the newest *cached* instant plus the lookup tolerance
+  (appends are monotone, so ``last_time`` bounds them from below) — a
+  new sample can only change the result at an old instant by landing
+  within the lookup tolerance of it;
+* the victim grid is spaced at least ``_MIN_GRID_SPACING`` apart — on
+  denser (sub-10 µs) grids the identifier falls back to the full
+  realignment, which is always correct.
+
+Anything else — a reset victim series, a pruned suspect, an arbitrary
+grid jump — falls back to the full per-suspect realignment for exactly
+the affected pairs.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Set
+from typing import Dict, List, Mapping, Optional, Set
+
+import numpy as np
 
 from repro.core.config import PerfCloudConfig
-from repro.metrics.correlation import MissingPolicy, aligned_pearson_many
+from repro.metrics.correlation import (
+    MissingPolicy,
+    aligned_pearson_many,
+    pearson_deviates,
+    victim_deviates,
+)
 from repro.metrics.timeseries import TimeSeries
 
 __all__ = ["IdentificationResult", "AntagonistIdentifier"]
+
+#: Grids spaced closer than this (seconds) disable the incremental path:
+#: the slide/step safety argument needs instants further apart than the
+#: lookup tolerance.  Control intervals are seconds apart; only synthetic
+#: (test) grids ever trip this.
+_MIN_GRID_SPACING = 1e-5
+
+#: A suspect whose newest cached sample lies this far past the newest
+#: cached grid instant cannot receive a later append that lands within
+#: the lookup tolerance (1e-6) of any cached instant, even with the
+#: 1e-9 monotonicity slack of ``TimeSeries.append``.
+_SAFE_GAP = 2e-6
 
 
 @dataclass
@@ -38,6 +85,37 @@ class IdentificationResult:
     resource: str  # "io" | "cpu"
     correlations: Dict[str, float]
     antagonists: Set[str]
+
+
+class _SuspectRec:
+    """Cached alignment of one suspect against one victim grid."""
+
+    __slots__ = ("ref", "s_vals", "score", "appended", "dropped", "last_time")
+
+    def __init__(self, ref, s_vals: np.ndarray, score: float) -> None:
+        self.ref = ref
+        self.s_vals = s_vals
+        self.score = score
+        self.appended = ref.appended
+        self.dropped = ref.dropped
+        self.last_time = ref.last_time
+
+    def refresh(self) -> None:
+        self.appended = self.ref.appended
+        self.dropped = self.ref.dropped
+        self.last_time = self.ref.last_time
+
+
+class _VictimState:
+    """Per (resource, victim-series) incremental-scoring state."""
+
+    __slots__ = ("victim", "grid", "v_vals", "sus")
+
+    def __init__(self, victim) -> None:
+        self.victim = victim
+        self.grid: np.ndarray = np.empty(0)
+        self.v_vals: np.ndarray = np.empty(0)
+        self.sus: Dict[str, _SuspectRec] = {}
 
 
 class AntagonistIdentifier:
@@ -52,6 +130,17 @@ class AntagonistIdentifier:
         self.missing_policy = missing_policy
         #: Last time each (resource, vm) pair crossed the threshold.
         self._last_hit: Dict[tuple, float] = {}
+        #: Incremental state per (resource, id(victim series)).  The state
+        #: holds a strong reference to the victim, so the id stays valid
+        #: for as long as the entry exists.
+        self._inc: Dict[tuple, _VictimState] = {}
+        #: O(1) ring updates taken (shift + single-instant lookup).
+        self.fast_updates = 0
+        #: Per-suspect full realignments (cache miss or unsafe reuse).
+        self.full_recomputes = 0
+        #: Whole calls routed to ``aligned_pearson_many`` (OMIT policy or
+        #: a grid denser than the incremental path supports).
+        self.fallbacks = 0
 
     def identify(
         self,
@@ -78,14 +167,7 @@ class AntagonistIdentifier:
                 correlations={vm: 0.0 for vm in suspects},
                 antagonists=antagonists,
             )
-        # One matrix-style pass: the victim tail is aligned once and every
-        # suspect is scored with a vectorized lookup over its history.
-        correlations = aligned_pearson_many(
-            victim_signal,
-            suspects,
-            window=self.config.corr_window,
-            policy=self.missing_policy,
-        )
+        correlations = self._scores(resource, victim_signal, suspects)
         for vm, r in correlations.items():
             key = (resource, vm)
             if r >= self.config.corr_threshold:
@@ -100,6 +182,116 @@ class AntagonistIdentifier:
         )
 
     def forget(self, vm: str) -> None:
-        """Drop TTL state for a departed VM."""
+        """Drop TTL and cached-alignment state for a departed VM."""
         for key in [k for k in self._last_hit if k[1] == vm]:
             del self._last_hit[key]
+        for st in self._inc.values():
+            st.sus.pop(vm, None)
+
+    # ------------------------------------------------------------- internals
+    def _scores(
+        self,
+        resource: str,
+        victim: TimeSeries,
+        suspects: Mapping[str, TimeSeries],
+    ) -> Dict[str, float]:
+        """Per-suspect Pearson scores ≡ ``aligned_pearson_many``."""
+        window = self.config.corr_window
+        if self.missing_policy is not MissingPolicy.ZERO or not suspects:
+            return aligned_pearson_many(
+                victim, suspects, window=window, policy=self.missing_policy
+            )
+        times, v_vals = victim.tail(window)
+        if times.size < 2:
+            return {vm: 0.0 for vm in suspects}
+        key = (resource, id(victim))
+        st = self._inc.get(key)
+        mode = "rebuild"
+        if st is not None and st.victim is victim:
+            n, o = times.size, st.grid.size
+            if (n == o and np.array_equal(times, st.grid)
+                    and np.array_equal(v_vals, st.v_vals)):
+                mode = "same"
+            elif (n == o + 1 and np.array_equal(times[:-1], st.grid)
+                    and np.array_equal(v_vals[:-1], st.v_vals)):
+                mode = "step"  # window still filling: one instant appended
+            elif (n == o == window and np.array_equal(times[:-1], st.grid[1:])
+                    and np.array_equal(v_vals[:-1], st.v_vals[1:])):
+                mode = "slide"  # steady state: window advanced by one
+        # Grid-density guard for the slide safety argument.  A stored grid
+        # already passed it, so modes extending one only check the single
+        # new gap; a fresh grid is checked in full.  Too-dense grids always
+        # realign (still exact).
+        if mode == "same":
+            dense = False
+        elif mode != "rebuild":
+            dense = float(times[-1] - times[-2]) < _MIN_GRID_SPACING
+        else:
+            dense = float(np.min(np.diff(times))) < _MIN_GRID_SPACING
+        if dense:
+            self._inc.pop(key, None)
+            self.fallbacks += 1
+            return aligned_pearson_many(
+                victim, suspects, window=window, policy=self.missing_policy
+            )
+        if mode == "rebuild":
+            st = _VictimState(victim)
+
+        t_last = float(times[-1])
+        # The newest grid instant whose cached suspect value is reused.
+        anchor = t_last if mode == "same" else float(times[-2])
+        # Victim-side Pearson deviates, hoisted once per interval and
+        # computed lazily (a pure cache-hit interval never needs them).
+        vd: Optional[np.ndarray] = None
+        vv = 0.0
+        scores: Dict[str, float] = {}
+        new_sus: Dict[str, _SuspectRec] = {}
+        for vm, series in suspects.items():
+            rec = st.sus.get(vm) if mode != "rebuild" else None
+            safe = (
+                rec is not None
+                and rec.ref is series
+                and series.dropped == rec.dropped
+                and (
+                    series.appended == rec.appended
+                    or (rec.last_time is not None
+                        and (rec.last_time == anchor
+                             or rec.last_time > anchor + _SAFE_GAP))
+                )
+            )
+            if safe and mode == "same":
+                score = rec.score
+                rec.refresh()
+                self.fast_updates += 1
+            elif safe:  # step or slide: shift the ring, look up one instant
+                if vd is None:
+                    vd, vv = victim_deviates(v_vals)
+                if mode == "step":
+                    s_vals = np.empty(times.size)
+                    s_vals[:-1] = rec.s_vals
+                else:
+                    # Steady state: shift the ring in place (the buffer is
+                    # owned by this record, never aliased elsewhere).
+                    s_vals = rec.s_vals
+                    s_vals[:-1] = s_vals[1:]
+                nv = series.value_at(t_last)
+                s_vals[-1] = nv if nv is not None else 0.0
+                score = pearson_deviates(vd, vv, s_vals)
+                rec.s_vals = s_vals
+                rec.score = score
+                rec.refresh()
+                self.fast_updates += 1
+            else:
+                if vd is None:
+                    vd, vv = victim_deviates(v_vals)
+                s_vals, _ = series.lookup(times)
+                score = pearson_deviates(vd, vv, s_vals)
+                rec = _SuspectRec(series, s_vals, score)
+                self.full_recomputes += 1
+            new_sus[vm] = rec
+            scores[vm] = score
+        st.grid = np.array(times, copy=True)
+        st.v_vals = np.array(v_vals, copy=True)
+        st.sus = new_sus
+        self._inc[key] = st
+        return scores

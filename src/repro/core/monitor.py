@@ -19,6 +19,12 @@ interval (never the whole pass), a cumulative counter running backwards
 (guest reboot) restarts that VM's delta cursor instead of emitting
 garbage, and both the per-VM cursor *and* the sample history are purged
 when a VM leaves the host.
+
+Storage: one :class:`~repro.metrics.plane.MetricPlane` per monitor.  The
+whole interval lands as a single batched ``ingest(now, columns)`` call —
+one column across every (metric, VM) ring — instead of 5 TimeSeries
+appends per VM; ``history`` exposes the same dict-of-dicts read API as
+before via stable :class:`~repro.metrics.plane.PlaneSeries` facades.
 """
 
 from __future__ import annotations
@@ -28,11 +34,20 @@ from typing import Dict, Optional
 
 from repro.core.config import PerfCloudConfig
 from repro.metrics.ewma import Ewma
+from repro.metrics.plane import MetricPlane, PlaneSeries
 from repro.metrics.stats import safe_ratio
-from repro.metrics.timeseries import TimeSeries
 from repro.virt.libvirt_api import Connection, LibvirtError
 
-__all__ = ["MonitorStats", "VmSample", "PerformanceMonitor"]
+__all__ = ["MonitorStats", "VmSample", "PerformanceMonitor", "PLANE_METRICS"]
+
+#: The per-VM metric columns every monitor plane stores.
+PLANE_METRICS = (
+    "iowait_ratio",
+    "cpi",
+    "io_bytes_ps",
+    "llc_miss_rate",
+    "cpu_usage_cores",
+)
 
 
 @dataclass
@@ -88,9 +103,11 @@ class PerformanceMonitor:
         self.conn = conn
         self.config = config
         self._state: Dict[str, _VmMonitorState] = {}
-        #: Full sample history per VM (TimeSeries per metric), for the
-        #: identifier and for experiment reporting.
-        self.history: Dict[str, Dict[str, TimeSeries]] = {}
+        #: Columnar store of every (metric, VM) sample on this host.
+        self.plane = MetricPlane(PLANE_METRICS)
+        #: Full sample history per VM (a stable PlaneSeries per metric),
+        #: for the identifier and for experiment reporting.
+        self.history: Dict[str, Dict[str, PlaneSeries]] = {}
         self.stats = MonitorStats()
 
     def sample(self, now: float) -> Dict[str, VmSample]:
@@ -98,7 +115,8 @@ class PerformanceMonitor:
 
         A failing domain costs only its own sample: faults are isolated
         per VM, and a failed listing costs one pass (no purging happens
-        on a pass whose inventory is unknown).
+        on a pass whose inventory is unknown).  All samples land in the
+        metric plane as one batched column ingest.
         """
         out: Dict[str, VmSample] = {}
         try:
@@ -106,6 +124,7 @@ class PerformanceMonitor:
         except LibvirtError:
             self.stats.list_failures += 1
             return out
+        columns: Dict[str, Dict[str, float]] = {}
         present = set()
         for dom in domains:
             name = dom.name()
@@ -123,14 +142,7 @@ class PerformanceMonitor:
                 st = _VmMonitorState(self.config.ewma_alpha)
                 self._state[name] = st
                 self.history[name] = {
-                    k: TimeSeries(name=f"{name}.{k}")
-                    for k in (
-                        "iowait_ratio",
-                        "cpi",
-                        "io_bytes_ps",
-                        "llc_miss_rate",
-                        "cpu_usage_cores",
-                    )
+                    k: self.plane.series(name, k) for k in PLANE_METRICS
                 }
             prev = st.prev
             st.prev = counters
@@ -163,13 +175,17 @@ class PerformanceMonitor:
                 cpu_usage_cores=st.cpu.update(cpu_cores),
             )
             out[name] = sample
-            h = self.history[name]
-            h["iowait_ratio"].append(now, sample.iowait_ratio)
-            h["cpi"].append(now, sample.cpi)
-            h["io_bytes_ps"].append(now, sample.io_bytes_ps)
+            col = {
+                "iowait_ratio": sample.iowait_ratio,
+                "cpi": sample.cpi,
+                "io_bytes_ps": sample.io_bytes_ps,
+                "cpu_usage_cores": sample.cpu_usage_cores,
+            }
             if sample.llc_miss_rate is not None:
-                h["llc_miss_rate"].append(now, sample.llc_miss_rate)
-            h["cpu_usage_cores"].append(now, sample.cpu_usage_cores)
+                col["llc_miss_rate"] = sample.llc_miss_rate
+            columns[name] = col
+        if columns:
+            self.plane.ingest(now, columns)
         # Forget VMs that left the host (migration / destroy): cursor,
         # EWMA state *and* sample history — a long-lived daemon must not
         # accumulate history for every VM that ever passed through.
@@ -177,11 +193,9 @@ class PerformanceMonitor:
             del self._state[gone]
         for gone in set(self.history) - present:
             del self.history[gone]
+            self.plane.remove_vm(gone)
             self.stats.histories_purged += 1
         retention = self.config.history_retention_s
         if retention is not None:
-            cutoff = now - retention
-            for series_by_metric in self.history.values():
-                for ts in series_by_metric.values():
-                    self.stats.samples_pruned += ts.prune_before(cutoff)
+            self.stats.samples_pruned += self.plane.prune_before(now - retention)
         return out

@@ -77,6 +77,7 @@ class NodeManager:
         autostart: bool = True,
         controller=None,
         fault_injector=None,
+        scheduler=None,
     ) -> None:
         self.sim = sim
         self.host_name = host_name
@@ -100,6 +101,10 @@ class NodeManager:
         #: (time, vm, resource, normalized_cap) actuation events.
         self.actions: List[tuple] = []
         self.stats = ControlPlaneStats()
+        #: Optional :class:`~repro.core.shards.ShardedControlPlane`; when
+        #: set, this agent is stepped as a shard of the coordinator task
+        #: instead of owning its own periodic event.
+        self._scheduler = scheduler
         self._task = None
         if autostart:
             self.start()
@@ -107,6 +112,9 @@ class NodeManager:
     # ----------------------------------------------------------------- loop
     def start(self) -> None:
         """Begin (or resume) the periodic control loop."""
+        if self._scheduler is not None:
+            self._scheduler.attach(self)
+            return
         if self._task is None or self._task.stopped:
             self._task = self.sim.every(
                 self.config.interval_s,
@@ -116,8 +124,18 @@ class NodeManager:
 
     def stop(self) -> None:
         """Halt the control loop (existing caps stay as they are)."""
+        if self._scheduler is not None:
+            self._scheduler.detach(self)
+            return
         if self._task is not None:
             self._task.stop()
+
+    @property
+    def running(self) -> bool:
+        """Whether this agent's control loop is currently scheduled."""
+        if self._scheduler is not None:
+            return self._scheduler.attached(self)
+        return self._task is not None and not self._task.stopped
 
     def control_interval(self) -> None:
         """One pass of Algorithm 1; a degraded facade never kills the task."""
@@ -151,7 +169,9 @@ class NodeManager:
             self._finish_interval(now)
             return
 
-        detections = self.detector.evaluate(now, samples, app_members)
+        detections = self.detector.evaluate(
+            now, samples, app_members, plane=self.monitor.plane
+        )
         if not low:
             # Nothing to identify or throttle; detection history still
             # accumulates (the paper's "running alone" baselines).

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional
 
 from repro.core.config import PerfCloudConfig
 from repro.core.node_manager import NodeManager
+from repro.core.shards import ShardedControlPlane
 from repro.sim.engine import Simulator
 
 __all__ = ["PerfCloud"]
@@ -43,16 +44,25 @@ class PerfCloud:
         #: Optional :class:`~repro.faults.injector.FaultInjector` standing
         #: between every agent and its libvirt facade (chaos testing).
         self.fault_injector = fault_injector
+        #: One coordinator tick steps every agent as an independent shard
+        #: (creation order), replacing per-host periodic events.
+        self.control_plane = ShardedControlPlane(sim, self.config.interval_s)
         self.node_managers: Dict[str, NodeManager] = {}
         for host in hosts if hosts is not None else cloud.hosts():
             self.node_managers[host] = NodeManager(
                 sim, host, cloud, self.config, autostart=autostart,
                 controller=controller_factory() if controller_factory else None,
                 fault_injector=fault_injector,
+                scheduler=self.control_plane,
             )
 
     def add_host(self, host_name: str) -> NodeManager:
-        """Deploy an agent on a host added after construction."""
+        """Deploy an agent on a host added after construction.
+
+        Late joiners run standalone (their own periodic task): their
+        control grid starts at deployment time, not at the original
+        coordinator epoch — exactly the old per-host behavior.
+        """
         if host_name in self.node_managers:
             raise ValueError(f"agent already deployed on {host_name!r}")
         nm = NodeManager(
@@ -85,11 +95,8 @@ class PerfCloud:
         return total
 
     def all_agents_alive(self) -> bool:
-        """Whether every agent's periodic control task is still running."""
-        return all(
-            nm._task is not None and not nm._task.stopped
-            for nm in self.node_managers.values()
-        )
+        """Whether every agent's control loop is still running."""
+        return all(nm.running for nm in self.node_managers.values())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"PerfCloud(agents={len(self.node_managers)})"

@@ -1,0 +1,103 @@
+"""Sharded cluster stepping: one coordinator tick, one shard per host.
+
+Historically every :class:`~repro.core.node_manager.NodeManager` owned
+its own :class:`~repro.sim.engine.PeriodicTask`, so a fig11-scale run
+interleaved ``num_hosts`` separate periodic events per control interval
+— each paying event-heap traffic and reschedule bookkeeping.  The
+:class:`ShardedControlPlane` collapses them into **one** coordinator
+task per deployment: each host's monitor → detector → identifier →
+node-manager chain is an independent *shard*, and the coordinator steps
+the shards through :func:`~repro.experiments.parallel.run_many` — the
+same dispatch engine the experiment sweeps use.
+
+Byte-identity with the per-host tasks (serial workers): the old tasks
+were created back-to-back at deployment, giving them contiguous event
+sequence numbers, identical epochs and identical intervals — so at every
+interval they fired consecutively, in creation order, with no foreign
+event between them.  The coordinator occupies the first task's position
+in the event order and steps the shards in exactly that creation order,
+producing the same per-interval execution sequence.
+
+Shards hold live simulator state, so they cannot cross a process
+boundary: ``workers`` must stay 0 (the serial in-process path of
+``run_many``, which is byte-identical to a plain loop by construction).
+Real-cluster deployments would instead run one agent process per host —
+the decentralized architecture of the paper needs no coordinator at all;
+this one exists purely to batch simulator events.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.sim.engine import Simulator
+
+__all__ = ["ShardedControlPlane"]
+
+
+def _step_shard(nm) -> None:
+    """Advance one host's control chain by one interval."""
+    nm.control_interval()
+
+
+class ShardedControlPlane:
+    """Steps every attached node manager from a single periodic task."""
+
+    def __init__(self, sim: Simulator, interval_s: float, *, workers: int = 0) -> None:
+        if workers != 0:
+            raise ValueError(
+                "in-simulator shards hold live engine state and cannot be "
+                "pickled across processes; workers must be 0 "
+                f"(got {workers!r})"
+            )
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s!r}")
+        self.sim = sim
+        self.interval_s = float(interval_s)
+        self.workers = workers
+        #: Attached shards by host name, in attach order (= step order).
+        self._shards: Dict[str, object] = {}
+        self._task = None
+
+    # ------------------------------------------------------------ membership
+    def attach(self, nm) -> None:
+        """Register a node manager as a shard (idempotent).
+
+        The coordinator task is created on the first attach, so it takes
+        that agent's position in the event order.
+        """
+        self._shards[nm.host_name] = nm
+        if self._task is None or self._task.stopped:
+            self._task = self.sim.every(
+                self.interval_s, self.tick, name="control-plane-shards"
+            )
+
+    def detach(self, nm) -> None:
+        """Unregister a shard; the coordinator stops when none remain."""
+        current = self._shards.get(nm.host_name)
+        if current is not nm:
+            return
+        del self._shards[nm.host_name]
+        if not self._shards and self._task is not None:
+            self._task.stop()
+
+    def attached(self, nm) -> bool:
+        """Whether ``nm`` is a live shard of a running coordinator."""
+        return (
+            self._shards.get(nm.host_name) is nm
+            and self._task is not None
+            and not self._task.stopped
+        )
+
+    # ------------------------------------------------------------------ tick
+    def tick(self) -> None:
+        """One control interval: step every shard, in attach order."""
+        # Imported here: repro.experiments.harness imports the core
+        # package, so a module-level import would be circular.
+        from repro.experiments.parallel import run_many
+
+        run_many(list(self._shards.values()), _step_shard, workers=self.workers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        alive = self._task is not None and not self._task.stopped
+        return f"ShardedControlPlane(shards={len(self._shards)}, alive={alive})"

@@ -11,8 +11,10 @@ digest of the ``repro`` package sources (the *code version*), so
 
 * two structurally equal task dataclasses map to the same key in any
   process (no dependence on ``PYTHONHASHSEED`` or object identity);
-* perturbing any field — a β, a seed, a size — changes the key; and
-* editing any ``repro/**.py`` file invalidates the whole cache.
+* perturbing any field — a β, a seed, a size — changes the key;
+* editing any ``repro/**.py`` file invalidates the whole cache; and
+* upgrading numpy to a new feature release (``major.minor``) misses the
+  cache, since reduction/RNG behavior is only pinned within one.
 
 Entries are pickle files written atomically (temp file + ``os.replace``)
 so concurrent writers from a process pool never expose half-written
@@ -48,6 +50,19 @@ __all__ = [
 CACHE_FORMAT = 1
 
 _code_version: Optional[str] = None
+
+
+def _numpy_feature_version() -> str:
+    """``major.minor`` of the numpy the results were computed under.
+
+    Reductions and RNG streams are stable within a feature release but
+    may legitimately change across them, so a numpy upgrade must miss
+    the cache rather than replay results the current stack cannot
+    reproduce.  Patch releases keep numerical behavior and share keys.
+    """
+    import numpy
+
+    return ".".join(numpy.__version__.split(".")[:2])
 
 
 def canonicalize(obj: Any) -> Any:
@@ -127,6 +142,7 @@ def task_key(task: Any, *, seed: Optional[int] = None,
     return stable_hash({
         "format": CACHE_FORMAT,
         "code": code if code is not None else code_version(),
+        "numpy": _numpy_feature_version(),
         "seed": seed,
         "task": canonicalize(task),
     })

@@ -20,10 +20,12 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Optional
 
 from repro.hardware.resources import (
+    IDLE_PROFILE,
     NetFlowDemand,
     PerfProfile,
     ResourceDemand,
     ResourceGrant,
+    ZERO_DEMAND,
 )
 from repro.frameworks.jobs import TaskAttempt
 from repro.workloads.base import WorkloadDriver
@@ -65,6 +67,14 @@ def _burst_multiplier(attempt_id: int, now: float) -> float:
 _M64 = 0xFFFFFFFFFFFFFFFF
 
 
+#: Memoized blends keyed by the (hashable) profile and weight tuples.
+#: ``blend_profiles`` is a pure function of its arguments, so equal inputs
+#: always yield the bit-identical output; the fluid layer re-blends the
+#: same handful of task-personality combinations every tick.
+_BLEND_CACHE: Dict[tuple, PerfProfile] = {}
+_BLEND_CACHE_MAX = 4096
+
+
 def blend_profiles(profiles: List[PerfProfile], weights: List[float]) -> PerfProfile:
     """CPU-weighted blend of task personalities running on one VM.
 
@@ -73,22 +83,34 @@ def blend_profiles(profiles: List[PerfProfile], weights: List[float]) -> PerfPro
     each task's personality by its CPU appetite.
     """
     if not profiles:
-        return PerfProfile()
+        return IDLE_PROFILE
     total = sum(weights)
     if total <= 0:
         return profiles[0]
+    if len(profiles) == 1:
+        # Single personality: the weighted average degenerates to the
+        # profile itself (w == [1.0] and x * 1.0 is exact).
+        return profiles[0]
+    key = (tuple(profiles), tuple(weights))
+    cached = _BLEND_CACHE.get(key)
+    if cached is not None:
+        return cached
     w = [x / total for x in weights]
 
     def avg(attr: str) -> float:
         return sum(getattr(p, attr) * wi for p, wi in zip(profiles, w))
 
-    return PerfProfile(
+    blended = PerfProfile(
         base_cpi=avg("base_cpi"),
         llc_sensitivity=avg("llc_sensitivity"),
         bw_sensitivity=avg("bw_sensitivity"),
         mpki_min=avg("mpki_min"),
         mpki_max=avg("mpki_max"),
     )
+    if len(_BLEND_CACHE) >= _BLEND_CACHE_MAX:
+        _BLEND_CACHE.clear()
+    _BLEND_CACHE[key] = blended
+    return blended
 
 
 class ExecutorDriver(WorkloadDriver):
@@ -112,6 +134,10 @@ class ExecutorDriver(WorkloadDriver):
         # principle could collide; objects cannot).
         self._last_rates: Dict[TaskAttempt, Dict[str, float]] = {}
         self._last_net_rates: Dict[TaskAttempt, Dict[str, float]] = {}
+        #: Per-attempt memo of the last ``_pace`` result keyed by the only
+        #: inputs the rates depend on (burst bucket + remaining-work
+        #: flags); entries die with the attempt's slot.
+        self._pace_memo: Dict[TaskAttempt, tuple] = {}
 
     # ------------------------------------------------------------------ slots
     @property
@@ -133,6 +159,7 @@ class ExecutorDriver(WorkloadDriver):
         """Remove a (possibly already dead) attempt from its slot."""
         if attempt in self.running:
             self.running.remove(attempt)
+        self._pace_memo.pop(attempt, None)
         attempt.kill(self._clock())
 
     # ------------------------------------------------------- driver interface
@@ -141,9 +168,11 @@ class ExecutorDriver(WorkloadDriver):
         """Blend of the running tasks' personalities (CPU-weighted)."""
         active = [a for a in self.running if a.running]
         if not active:
-            return PerfProfile()
+            return IDLE_PROFILE
         profiles = [self._task_profile(a) for a in active]
-        weights = [max(self._pace(a).get("cpu", 0.0), 0.05) for a in active]
+        # The CPU pacing rate carries no burst factor, so the weight can
+        # be computed directly instead of building the full rate dict.
+        weights = [max(self._cpu_rate(a), 0.05) for a in active]
         return blend_profiles(profiles, weights)
 
     @property
@@ -155,13 +184,11 @@ class ExecutorDriver(WorkloadDriver):
         """Aggregate demand of all running attempts (plus their flows)."""
         self._last_rates.clear()
         self._last_net_rates.clear()
-        total = {
-            "cpu": 0.0,
-            "read_bps": 0.0,
-            "read_iops": 0.0,
-            "write_bps": 0.0,
-            "write_iops": 0.0,
-        }
+        if not self.running:
+            # Idle executor: no attempts means every accumulator below
+            # stays 0.0 and no flows are emitted — exactly ZERO_DEMAND.
+            return ZERO_DEMAND
+        cpu = read_bps = read_iops = write_bps = write_iops = 0.0
         llc_ws = 0.0
         mem_bw = 0.0
         net_by_peer: Dict[str, float] = {}
@@ -172,8 +199,11 @@ class ExecutorDriver(WorkloadDriver):
             net_rates = self._net_pace(a)
             self._last_rates[a] = rates
             self._last_net_rates[a] = net_rates
-            for k in total:
-                total[k] += rates.get(k, 0.0)
+            cpu += rates.get("cpu", 0.0)
+            read_bps += rates.get("read_bps", 0.0)
+            read_iops += rates.get("read_iops", 0.0)
+            write_bps += rates.get("write_bps", 0.0)
+            write_iops += rates.get("write_iops", 0.0)
             llc_ws += a.task.work.llc_ws_mb
             mem_bw += a.task.work.mem_bw_gbps
             for peer, r in net_rates.items():
@@ -184,11 +214,11 @@ class ExecutorDriver(WorkloadDriver):
             if rate > 0
         )
         return ResourceDemand(
-            cpu_cores=total["cpu"],
-            read_iops=total["read_iops"],
-            write_iops=total["write_iops"],
-            read_bytes_ps=total["read_bps"],
-            write_bytes_ps=total["write_bps"],
+            cpu_cores=cpu,
+            read_iops=read_iops,
+            write_iops=write_iops,
+            read_bytes_ps=read_bps,
+            write_bytes_ps=write_bps,
             mem_bw_gbps=mem_bw,
             llc_ws_mb=llc_ws,
             flows=flows,
@@ -196,6 +226,9 @@ class ExecutorDriver(WorkloadDriver):
 
     def consume(self, grant: ResourceGrant) -> None:
         """Split the grant among attempts and reap completions."""
+        if not self.running:
+            # Nothing to advance and nothing to reap.
+            return
         now = self._clock()
         active = [a for a in self.running if a.running and a in self._last_rates]
         if active:
@@ -224,11 +257,13 @@ class ExecutorDriver(WorkloadDriver):
                 continue
             if a.running and a.work_done:
                 self.running.remove(a)
+                self._pace_memo.pop(a, None)
                 if self.on_attempt_done is not None:
                     self.on_attempt_done(a)
             elif not a.running:
                 # Killed externally (e.g. task completed elsewhere).
                 self.running.remove(a)
+                self._pace_memo.pop(a, None)
 
     # ------------------------------------------------------------- internals
     def _task_profile(self, attempt: TaskAttempt) -> PerfProfile:
@@ -236,6 +271,13 @@ class ExecutorDriver(WorkloadDriver):
 
     def _nominal_s(self, attempt: TaskAttempt) -> float:
         return max(float(getattr(attempt.task, "nominal_s", 10.0)), 0.5)
+
+    def _cpu_rate(self, attempt: TaskAttempt) -> float:
+        """The CPU pacing rate alone (what ``_pace`` would report)."""
+        if attempt.rem_cpu <= 1e-9:
+            return 0.0
+        w = attempt.task.work
+        return min(1.0, _BOOST * w.cpu_coresec / self._nominal_s(attempt))
 
     def _pace(self, attempt: TaskAttempt) -> Dict[str, float]:
         """Per-dimension demand rates for one attempt.
@@ -247,9 +289,23 @@ class ExecutorDriver(WorkloadDriver):
         modulated by the burst duty cycle — so a small read finishes
         quickly even under contention, rather than being stretched to the
         whole task's horizon.
+
+        The rates depend only on task constants, the burst bucket of
+        ``now`` and which work dimensions remain, so the last result is
+        memoized under that key (the memo dict is never mutated after
+        being stored).
         """
         task = attempt.task
         w = task.work
+        memo_key = (
+            int(self._clock() / _BURST_PERIOD_S),
+            attempt.rem_cpu > 1e-9,
+            attempt.rem_read_bytes > 1e-6 or attempt.rem_read_ops > 1e-9,
+            attempt.rem_write_bytes > 1e-6 or attempt.rem_write_ops > 1e-9,
+        )
+        memo = self._pace_memo.get(attempt)
+        if memo is not None and memo[0] == memo_key:
+            return memo[1]
         t = self._nominal_s(attempt)
         burst = _burst_multiplier(attempt.id, self._clock())
         rates: Dict[str, float] = {}
@@ -269,10 +325,13 @@ class ExecutorDriver(WorkloadDriver):
             ops_per_byte = w.write_ops / w.write_bytes if w.write_bytes > 0 else 0.0
             rates["write_bps"] = _BOOST * burst * max_bps
             rates["write_iops"] = rates["write_bps"] * ops_per_byte
+        self._pace_memo[attempt] = (memo_key, rates)
         return rates
 
     def _net_pace(self, attempt: TaskAttempt) -> Dict[str, float]:
         """Per-peer shuffle fetch rates for one attempt."""
+        if not attempt.rem_net:
+            return {}
         remaining = {p: b for p, b in attempt.rem_net.items() if b > 1e-6}
         total = sum(remaining.values())
         if total <= 0:
@@ -366,15 +425,28 @@ class CompositeDriver(WorkloadDriver):
     def demand(self) -> ResourceDemand:
         """Vector sum of the children's demands."""
         self._last = [c.demand() for c in self.children]
+        if all(d is ZERO_DEMAND for d in self._last):
+            # Every child is the idle singleton: the vector sum is the
+            # all-zero vector with no flows — ZERO_DEMAND itself.
+            return ZERO_DEMAND
         flows = tuple(f for d in self._last for f in d.flows)
+        cpu = riops = wiops = rbps = wbps = bw = llc = 0.0
+        for d in self._last:
+            cpu += d.cpu_cores
+            riops += d.read_iops
+            wiops += d.write_iops
+            rbps += d.read_bytes_ps
+            wbps += d.write_bytes_ps
+            bw += d.mem_bw_gbps
+            llc += d.llc_ws_mb
         return ResourceDemand(
-            cpu_cores=sum(d.cpu_cores for d in self._last),
-            read_iops=sum(d.read_iops for d in self._last),
-            write_iops=sum(d.write_iops for d in self._last),
-            read_bytes_ps=sum(d.read_bytes_ps for d in self._last),
-            write_bytes_ps=sum(d.write_bytes_ps for d in self._last),
-            mem_bw_gbps=sum(d.mem_bw_gbps for d in self._last),
-            llc_ws_mb=sum(d.llc_ws_mb for d in self._last),
+            cpu_cores=cpu,
+            read_iops=riops,
+            write_iops=wiops,
+            read_bytes_ps=rbps,
+            write_bytes_ps=wbps,
+            mem_bw_gbps=bw,
+            llc_ws_mb=llc,
             flows=flows,
         )
 
@@ -382,20 +454,36 @@ class CompositeDriver(WorkloadDriver):
         """Split the grant per dimension, proportional to child demand."""
         if not self._last:
             self._last = [c.demand() for c in self.children]
+        if all(d is ZERO_DEMAND for d in self._last):
+            # Only drivers whose consume() is a no-op on an idle step
+            # return the ZERO_DEMAND singleton, and every split fraction
+            # below would be 0.0 — the whole pass can be skipped.
+            return
 
-        def fracs(attr: str) -> List[float]:
-            vals = [getattr(d, attr) for d in self._last]
-            total = sum(vals)
+        # One pass accumulates every per-dimension total (same left-to-
+        # right addition order as summing each dimension separately).
+        last = self._last
+        n = len(last)
+        cpu_t = riops_t = wiops_t = rbps_t = wbps_t = bw_t = 0.0
+        for d in last:
+            cpu_t += d.cpu_cores
+            riops_t += d.read_iops
+            wiops_t += d.write_iops
+            rbps_t += d.read_bytes_ps
+            wbps_t += d.write_bytes_ps
+            bw_t += d.mem_bw_gbps
+
+        def fracs(total: float, vals: List[float]) -> List[float]:
             if total <= 1e-12:
-                return [0.0] * len(vals)
+                return [0.0] * n
             return [v / total for v in vals]
 
-        cpu_f = fracs("cpu_cores")
-        riops_f = fracs("read_iops")
-        wiops_f = fracs("write_iops")
-        rbps_f = fracs("read_bytes_ps")
-        wbps_f = fracs("write_bytes_ps")
-        bw_f = fracs("mem_bw_gbps")
+        cpu_f = fracs(cpu_t, [d.cpu_cores for d in last])
+        riops_f = fracs(riops_t, [d.read_iops for d in last])
+        wiops_f = fracs(wiops_t, [d.write_iops for d in last])
+        rbps_f = fracs(rbps_t, [d.read_bytes_ps for d in last])
+        wbps_f = fracs(wbps_t, [d.write_bytes_ps for d in last])
+        bw_f = fracs(bw_t, [d.mem_bw_gbps for d in last])
         for i, child in enumerate(self.children):
             # Per-peer network split by this child's share of flow demand.
             net: Dict[str, float] = {}

@@ -35,7 +35,7 @@ import numpy as np
 from repro.hardware.jitter import PersistentBias
 from repro.hardware.specs import DiskSpec
 
-__all__ = ["DiskRequest", "DiskGrant", "BlockDevice"]
+__all__ = ["DiskRequest", "DiskGrant", "BlockDevice", "IDLE_REQUEST"]
 
 
 @dataclass(frozen=True)
@@ -76,6 +76,13 @@ class DiskGrant:
         return self.read_ops + self.write_ops
 
 
+#: Shared request for an uncapped guest demanding no I/O this step.  The
+#: dataclass is frozen, so callers may pass the same instance every step;
+#: :meth:`BlockDevice.allocate` recognises it by identity and skips the
+#: cap/share arithmetic (whose result on zero demand is zero anyway).
+IDLE_REQUEST = DiskRequest()
+
+
 class BlockDevice:
     """Shared block device of one physical host."""
 
@@ -105,6 +112,10 @@ class BlockDevice:
         eff_iops: Dict[Hashable, float] = {}
         eff_bps: Dict[Hashable, float] = {}
         for vm, req in requests.items():
+            if req is IDLE_REQUEST:
+                eff_iops[vm] = 0.0
+                eff_bps[vm] = 0.0
+                continue
             iops = req.total_iops
             bps = req.total_bytes_ps
             if req.iops_cap is not None:
@@ -162,6 +173,10 @@ class BlockDevice:
         grants: Dict[Hashable, DiskGrant] = {}
         for vm in requests:
             req = requests[vm]
+            if req is IDLE_REQUEST:
+                self._bias.forget(vm)
+                grants[vm] = DiskGrant()
+                continue
             served_iops = eff_iops[vm] * scale[vm]
             served_bps = eff_bps[vm] * scale[vm]
             # Split back into read/write proportionally to demand.

@@ -16,10 +16,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Protocol, Tuple
 
-from repro.hardware.disk import BlockDevice, DiskRequest
-from repro.hardware.memsys import MemorySystem, MemRequest
+from repro.hardware.disk import IDLE_REQUEST, BlockDevice, DiskRequest
+from repro.hardware.memsys import IDLE_MEM_REQUEST, MemorySystem, MemRequest
 from repro.hardware.cpu import allocate_cpu
 from repro.hardware.resources import (
+    IDLE_PROFILE,
+    ZERO_DEMAND,
     NetFlowDemand,
     PerfProfile,
     ResourceDemand,
@@ -89,6 +91,10 @@ class PhysicalHost:
         self._guests: Dict[str, Guest] = {}
         #: CPU utilization (granted cores / capacity) of the latest step.
         self.cpu_utilization = 0.0
+        # The all-idle fast path bypasses memsys.evaluate, which is only
+        # legal for the plain single-socket model: the NUMA variant pins
+        # VMs to sockets on first sight inside evaluate.
+        self._idle_ok = spec.numa_sockets == 1
 
     # ---------------------------------------------------------------- guests
     @property
@@ -124,6 +130,8 @@ class PhysicalHost:
         """
         names = self.guest_names()
         demands = {n: self._guests[n].poll_demand() for n in names}
+        if self._idle_ok and all(d is ZERO_DEMAND for d in demands.values()):
+            return self._step_idle(names, demands, dt)
 
         # ---- CPU ---------------------------------------------------------
         cpu_grants = allocate_cpu(
@@ -141,6 +149,9 @@ class PhysicalHost:
         for n in names:
             d = demands[n]
             iops_cap, bps_cap = self._guests[n].io_caps()
+            if d is ZERO_DEMAND and iops_cap is None and bps_cap is None:
+                disk_reqs[n] = IDLE_REQUEST
+                continue
             disk_reqs[n] = DiskRequest(
                 read_iops=d.read_iops,
                 write_iops=d.write_iops,
@@ -152,10 +163,20 @@ class PhysicalHost:
         disk_grants = self.disk.allocate(disk_reqs, dt)
 
         # ---- Memory system -------------------------------------------------
+        # One profile snapshot per guest, reused for grant assembly below
+        # (no guest state changes between the two uses).
+        profiles = {n: self._guests[n].perf_profile() for n in names}
         mem_reqs = {}
         for n in names:
             d = demands[n]
-            prof = self._guests[n].perf_profile()
+            prof = profiles[n]
+            if (
+                d is ZERO_DEMAND
+                and prof is IDLE_PROFILE
+                and cpu_grants.get(n, 0.0) == 0.0
+            ):
+                mem_reqs[n] = IDLE_MEM_REQUEST
+                continue
             mem_reqs[n] = MemRequest(
                 llc_ws_mb=d.llc_ws_mb,
                 mem_bw_gbps=d.mem_bw_gbps,
@@ -173,7 +194,7 @@ class PhysicalHost:
         grants: Dict[str, ResourceGrant] = {}
         flow_demands: List[Tuple[str, NetFlowDemand]] = []
         for n in names:
-            prof = self._guests[n].perf_profile()
+            prof = profiles[n]
             mo = mem_out[n]
             dg = disk_grants[n]
             coresec = cpu_grants.get(n, 0.0) * dt
@@ -196,6 +217,42 @@ class PhysicalHost:
             for fl in demands[n].flows:
                 flow_demands.append((n, fl))
         return HostStepResult(grants=grants, flow_demands=flow_demands, demands=demands)
+
+    def _step_idle(self, names: List[str], demands, dt: float) -> HostStepResult:
+        """Step a host whose every guest polled the ``ZERO_DEMAND`` singleton.
+
+        Equivalent to the general path on all-zero demand: each allocator
+        grants zero without drawing from its rng stream, so the only side
+        effects to replicate are the utilization gauges and the disk's
+        per-VM bias evictions (same order as :meth:`BlockDevice.allocate`:
+        every share-bias forget, then every wait-bias forget).  An idle VM
+        keeps its profile's ``base_cpi`` as observed CPI, exactly as the
+        memory system reports for inactive guests.
+        """
+        self.cpu_utilization = 0.0
+        disk = self.disk
+        disk.utilization = 0.0
+        for n in names:
+            disk._share_bias.forget(n)
+        for n in names:
+            disk._bias.forget(n)
+        self.memsys.bw_utilization = 0.0
+        grants: Dict[str, ResourceGrant] = {}
+        for n in names:
+            grants[n] = ResourceGrant(
+                dt=dt,
+                cpu_coresec=0.0,
+                effective_coresec=0.0,
+                cpi=self._guests[n].perf_profile().base_cpi,
+                mpki=0.0,
+                read_ops=0.0,
+                write_ops=0.0,
+                read_bytes=0.0,
+                write_bytes=0.0,
+                io_wait_ms_per_op=0.0,
+                mem_bytes=0.0,
+            )
+        return HostStepResult(grants=grants, flow_demands=[], demands=demands)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -39,7 +39,7 @@ import numpy as np
 from repro.hardware.jitter import PersistentBias
 from repro.hardware.specs import MemSpec
 
-__all__ = ["MemRequest", "MemOutcome", "MemorySystem"]
+__all__ = ["MemRequest", "MemOutcome", "MemorySystem", "IDLE_MEM_REQUEST"]
 
 
 @dataclass(frozen=True)
@@ -94,6 +94,26 @@ class MemOutcome:
     mem_bytes: float
     #: LLC occupancy granted, MB.
     occupancy_mb: float
+
+
+#: Shared request for an idle guest with the default (idle) perf profile.
+#: Frozen, so callers may pass the same instance every step; ``evaluate``
+#: recognises it by identity and returns a shared idle outcome instead of
+#: building a fresh one (consumers treat outcomes as read-only).
+IDLE_MEM_REQUEST = MemRequest()
+
+#: The outcome ``evaluate`` computes for ``IDLE_MEM_REQUEST``: inactive
+#: guests observe their base CPI and touch nothing.  Read-only by
+#: convention — it is handed out once per idle guest per step.
+_IDLE_OUTCOME = MemOutcome(
+    cpi=IDLE_MEM_REQUEST.base_cpi,
+    cpi_effective=IDLE_MEM_REQUEST.base_cpi,
+    mpki=0.0,
+    extra_miss_factor=0.0,
+    bw_stall=0.0,
+    mem_bytes=0.0,
+    occupancy_mb=0.0,
+)
 
 
 class MemorySystem:
@@ -188,6 +208,9 @@ class MemorySystem:
         out: Dict[Hashable, MemOutcome] = {}
         jitter_sigma = self._jitter_scale(stall, extra_miss)
         for vm, r in requests.items():
+            if r is IDLE_MEM_REQUEST:
+                out[vm] = _IDLE_OUTCOME
+                continue
             if vm not in active:
                 out[vm] = MemOutcome(
                     cpi=r.base_cpi,

@@ -15,7 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
-__all__ = ["NetFlowDemand", "PerfProfile", "ResourceDemand", "ResourceGrant"]
+__all__ = [
+    "NetFlowDemand",
+    "PerfProfile",
+    "ResourceDemand",
+    "ResourceGrant",
+    "ZERO_DEMAND",
+    "IDLE_PROFILE",
+]
 
 
 @dataclass(frozen=True)
@@ -163,3 +170,14 @@ class ResourceGrant:
     def idle(dt: float) -> "ResourceGrant":
         """An all-zero grant for an idle step."""
         return ResourceGrant(dt=dt)
+
+
+#: Shared all-zero demand.  Drivers with no runnable work return this
+#: singleton instead of constructing a fresh ``ResourceDemand()`` every
+#: step; consumers treat demands as immutable, and the identity also lets
+#: grant-splitting layers recognise fully-idle children in O(1).
+ZERO_DEMAND = ResourceDemand()
+
+#: Shared default personality for idle VMs (``PerfProfile`` is frozen, so
+#: the singleton is safe to alias).
+IDLE_PROFILE = PerfProfile()

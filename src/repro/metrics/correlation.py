@@ -23,11 +23,25 @@ import numpy as np
 
 from repro.metrics.timeseries import TimeSeries
 
-__all__ = ["MissingPolicy", "pearson", "aligned_pearson", "aligned_pearson_many"]
+__all__ = [
+    "MissingPolicy",
+    "pearson",
+    "pearson_deviates",
+    "victim_deviates",
+    "aligned_pearson",
+    "aligned_pearson_many",
+]
 
 #: Degenerate-variance guard: a series whose variance is below this is
 #: treated as constant and correlates to 0 with anything.
 _EPS = 1e-12
+
+# ``ndarray.mean()`` is ``add.reduce(a) / n`` behind a Python wrapper whose
+# bookkeeping costs more than the reduction itself on window-sized vectors.
+# Calling the ufunc method directly computes the same sum in the same order
+# (``numpy._core._methods.umr_sum`` *is* ``add.reduce``), so results stay
+# bit-identical.
+_sum = np.add.reduce
 
 
 class MissingPolicy(enum.Enum):
@@ -52,9 +66,30 @@ def pearson(x: Sequence[float], y: Sequence[float]) -> float:
         raise ValueError(f"length mismatch: {xa.shape} vs {ya.shape}")
     if xa.size < 2:
         return 0.0
-    xd = xa - xa.mean()
-    yd = ya - ya.mean()
-    vx = float(np.dot(xd, xd))
+    xd = xa - _sum(xa) / xa.size
+    return pearson_deviates(xd, float(np.dot(xd, xd)), ya)
+
+
+def victim_deviates(x: np.ndarray) -> Tuple[np.ndarray, float]:
+    """Precompute ``(deviates, sum of squares)`` of one correlation side.
+
+    Scoring many suspects against one victim repeats the victim half of
+    :func:`pearson` identically each time; hoisting it keeps the scores
+    bit-identical while paying for it once per interval.
+    """
+    xa = np.asarray(x, dtype=float)
+    xd = xa - _sum(xa) / xa.size
+    return xd, float(np.dot(xd, xd))
+
+
+def pearson_deviates(xd: np.ndarray, vx: float, ya: np.ndarray) -> float:
+    """Pearson of a precomputed deviate vector against a raw vector.
+
+    Bit-identical to ``pearson(x, y)`` for the ``x`` that produced
+    ``(xd, vx)`` via :func:`victim_deviates`; callers guarantee matching
+    lengths ≥ 2.
+    """
+    yd = ya - _sum(ya) / ya.size
     vy = float(np.dot(yd, yd))
     if vx < _EPS or vy < _EPS:
         return 0.0

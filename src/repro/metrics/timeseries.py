@@ -27,13 +27,58 @@ from typing import Iterable, Iterator, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["TimeSeries"]
+__all__ = ["TimeSeries", "lookup_nearest", "nearest_index"]
 
 #: Default time tolerance for exact-instant lookups (seconds).
 _LOOKUP_TOL = 1e-6
 
 _EMPTY = np.empty(0)
 _EMPTY.flags.writeable = False
+
+
+def nearest_index(t: np.ndarray, time: float) -> int:
+    """Index into sorted ``t`` nearest ``time`` (first occurrence on ties)."""
+    ins = int(np.searchsorted(t, time, side="left"))
+    if ins == t.size:
+        idx = ins - 1
+    elif ins > 0 and abs(t[ins - 1] - time) <= abs(t[ins] - time):
+        idx = ins - 1
+    else:
+        idx = ins
+    if idx > 0 and t[idx - 1] == t[idx]:
+        idx = int(np.searchsorted(t, t[idx], side="left"))
+    return idx
+
+
+def lookup_nearest(
+    t: np.ndarray,
+    v: np.ndarray,
+    q: np.ndarray,
+    tolerance: float = _LOOKUP_TOL,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized nearest-sample lookup over sorted timestamps ``t``.
+
+    The shared core of :meth:`TimeSeries.lookup` and the metric plane's
+    column reads: returns ``(values, present)`` where ``present[i]`` says
+    whether a sample exists within ``tolerance`` of ``q[i]``; absent
+    entries of ``values`` are 0.  Ties pick the first occurrence, matching
+    the historical argmin-based lookup.
+    """
+    out = np.zeros(q.size)
+    if t.size == 0 or q.size == 0:
+        return out, np.zeros(q.size, dtype=bool)
+    ins = np.searchsorted(t, q, side="left")
+    left = np.clip(ins - 1, 0, t.size - 1)
+    right = np.clip(ins, 0, t.size - 1)
+    pick_left = (ins > 0) & (
+        (ins == t.size) | (np.abs(t[left] - q) <= np.abs(t[right] - q))
+    )
+    idx = np.where(pick_left, left, right)
+    # First occurrence among duplicate timestamps, as argmin would pick.
+    idx = np.searchsorted(t, t[idx], side="left")
+    present = np.abs(t[idx] - q) <= tolerance
+    out[present] = v[idx[present]]
+    return out, present
 
 
 class TimeSeries:
@@ -47,14 +92,18 @@ class TimeSeries:
         Optional label used in error messages and repr.
     """
 
-    __slots__ = ("capacity", "name", "_buf_t", "_buf_v", "_start", "_end",
-                 "_view_t", "_view_v")
+    __slots__ = ("capacity", "name", "dropped", "_buf_t", "_buf_v", "_start",
+                 "_end", "_view_t", "_view_v")
 
     def __init__(self, capacity: int = 4096, name: str = "") -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be positive, got {capacity!r}")
         self.capacity = int(capacity)
         self.name = name
+        #: Samples evicted so far (capacity overflow + retention pruning).
+        #: ``appended - len(self)``; lets incremental readers detect that
+        #: the retained window slid without diffing the arrays.
+        self.dropped = 0
         size = min(2 * self.capacity, 16)
         self._buf_t = np.empty(size)
         self._buf_v = np.empty(size)
@@ -83,6 +132,7 @@ class TimeSeries:
         self._end += 1
         if self._end - self._start > self.capacity:
             self._start += 1  # capacity eviction: oldest out first
+            self.dropped += 1
         self._view_t = self._view_v = None
 
     def extend(self, samples: Iterable[Tuple[float, float]]) -> None:
@@ -103,6 +153,7 @@ class TimeSeries:
         dropped = int(np.searchsorted(t, cutoff - 1e-9, side="left"))
         if dropped:
             self._start += dropped
+            self.dropped += dropped
             self._view_t = self._view_v = None
         return dropped
 
@@ -115,6 +166,11 @@ class TimeSeries:
 
     def __iter__(self) -> Iterator[Tuple[float, float]]:
         return iter(zip(self._times_view().tolist(), self._values_view().tolist()))
+
+    @property
+    def appended(self) -> int:
+        """Total samples ever appended (retained + dropped)."""
+        return (self._end - self._start) + self.dropped
 
     @property
     def last_time(self) -> Optional[float]:
@@ -164,7 +220,7 @@ class TimeSeries:
         t = self._times_view()
         if t.size == 0:
             return None
-        idx = self._nearest_index(t, float(time))
+        idx = nearest_index(t, float(time))
         if abs(t[idx] - time) <= tolerance:
             return float(self._values_view()[idx])
         return None
@@ -183,22 +239,9 @@ class TimeSeries:
             times if isinstance(times, (np.ndarray, list, tuple)) else list(times),
             dtype=float,
         )
-        t = self._times_view()
-        out = np.zeros(q.size)
-        if t.size == 0 or q.size == 0:
-            return out, np.zeros(q.size, dtype=bool)
-        ins = np.searchsorted(t, q, side="left")
-        left = np.clip(ins - 1, 0, t.size - 1)
-        right = np.clip(ins, 0, t.size - 1)
-        pick_left = (ins > 0) & (
-            (ins == t.size) | (np.abs(t[left] - q) <= np.abs(t[right] - q))
+        return lookup_nearest(
+            self._times_view(), self._values_view(), q, tolerance
         )
-        idx = np.where(pick_left, left, right)
-        # First occurrence among duplicate timestamps, as argmin would pick.
-        idx = np.searchsorted(t, t[idx], side="left")
-        present = np.abs(t[idx] - q) <= tolerance
-        out[present] = self._values_view()[idx[present]]
-        return out, present
 
     def resampled_at(self, times: Iterable[float], missing: float = 0.0) -> np.ndarray:
         """Values at each requested time, ``missing`` where absent.
@@ -213,19 +256,8 @@ class TimeSeries:
         return values
 
     # ------------------------------------------------------------- internals
-    @staticmethod
-    def _nearest_index(t: np.ndarray, time: float) -> int:
-        """Index of the timestamp nearest ``time`` (first occurrence on ties)."""
-        ins = int(np.searchsorted(t, time, side="left"))
-        if ins == t.size:
-            idx = ins - 1
-        elif ins > 0 and abs(t[ins - 1] - time) <= abs(t[ins] - time):
-            idx = ins - 1
-        else:
-            idx = ins
-        if idx > 0 and t[idx - 1] == t[idx]:
-            idx = int(np.searchsorted(t, t[idx], side="left"))
-        return idx
+    #: Kept as a static alias of the module-level helper for back-compat.
+    _nearest_index = staticmethod(nearest_index)
 
     def _times_view(self) -> np.ndarray:
         if self._view_t is None:

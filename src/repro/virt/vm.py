@@ -17,12 +17,20 @@ from __future__ import annotations
 import enum
 from typing import Optional, Tuple
 
-from repro.hardware.resources import PerfProfile, ResourceDemand, ResourceGrant
+from repro.hardware.resources import (
+    IDLE_PROFILE,
+    PerfProfile,
+    ResourceDemand,
+    ResourceGrant,
+    ZERO_DEMAND,
+)
 from repro.virt.cgroups import Cgroup
 
 __all__ = ["Priority", "VM"]
 
-_DEFAULT_PROFILE = PerfProfile()
+# The idle singleton, so driverless VMs hit the same hardware-layer fast
+# paths as VMs whose driver finished (identical field values either way).
+_DEFAULT_PROFILE = IDLE_PROFILE
 
 
 class Priority(enum.Enum):
@@ -93,7 +101,7 @@ class VM:
         can exert (§III-B).
         """
         if self.driver is None or getattr(self.driver, "finished", False):
-            return ResourceDemand()
+            return ZERO_DEMAND
         return self.driver.demand()
 
     def cpu_cap_cores(self) -> Optional[float]:

@@ -189,11 +189,13 @@ def test_rolling_stats_matches_tail_recompute(values, window):
         seen.append(x)
         mean, std = naive_rolling_tail_stats(seen, window)
         assert rs.n == min(len(seen), window)
-        # Incremental removal leaves O(eps * value^2) residue in the
-        # aggregates; with |values| <= 1e3 that bounds the absolute error
-        # near 1e-7 — far below any deviation signal the detector reads.
+        # Incremental removal leaves O(eps * value^2) residue in the M2
+        # aggregate; with |values| <= 1e3 that residue is ~1e-10, and the
+        # square root amplifies it to ~1e-5 when the true std is 0 — so
+        # the std bound is sqrt-of-residue, not residue-sized.  Either way
+        # it is far below any deviation signal the detector reads.
         assert rs.mean == pytest.approx(mean, rel=1e-9, abs=1e-6)
-        assert rs.std == pytest.approx(std, rel=1e-6, abs=1e-5)
+        assert rs.std == pytest.approx(std, rel=1e-6, abs=1e-4)
 
 
 @settings(max_examples=100, deadline=None)

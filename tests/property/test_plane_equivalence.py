@@ -1,0 +1,312 @@
+"""Property tests for the columnar metric plane and incremental identifier.
+
+Three exact-equivalence oracles, each driven over randomized sample
+streams:
+
+* the incremental identifier must produce *identical* (``==``, not
+  approximate) scores to :func:`aligned_pearson_many` at every interval,
+  across missing suspect samples, <`corr_min_samples` abstention,
+  capacity eviction, pruning, series resets and too-dense grids;
+* the detector's masked-column read path (``plane=``) must produce
+  identical :class:`DetectionResult`s and deviation histories to the
+  per-VM dict path;
+* a :class:`PlaneSeries` must answer the whole ``TimeSeries`` read API
+  exactly like a ``TimeSeries`` fed the same (time, value) stream,
+  including under column eviction, pruning and VM removal.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PerfCloudConfig
+from repro.core.detector import InterferenceDetector
+from repro.core.identification import AntagonistIdentifier
+from repro.core.monitor import PLANE_METRICS, VmSample
+from repro.metrics.correlation import MissingPolicy, aligned_pearson_many
+from repro.metrics.plane import MetricPlane
+from repro.metrics.timeseries import TimeSeries
+
+_N_SUSPECTS = 3
+
+_values = st.one_of(
+    st.sampled_from([0.0, 1.0, -1.0, 0.5]),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+#: Most intervals are plain ticks; the rest force the identifier off its
+#: fast path (fresh victim, replaced suspect, pruned suspect, or a grid
+#: denser than ``_MIN_GRID_SPACING`` which must fall back entirely).
+_events = st.sampled_from(
+    ("tick",) * 5
+    + ("reset_victim", "replace_suspect", "prune_suspect", "dense")
+)
+
+_id_steps = st.lists(
+    st.tuples(
+        _events,
+        st.booleans(),  # victim sampled this interval?
+        _values,  # victim value
+        st.lists(  # per-suspect value; None = missing sample
+            st.one_of(st.none(), _values),
+            min_size=_N_SUSPECTS,
+            max_size=_N_SUSPECTS,
+        ),
+    ),
+    min_size=1,
+    max_size=25,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    steps=_id_steps,
+    window=st.integers(min_value=2, max_value=8),
+    min_samples=st.integers(min_value=2, max_value=4),
+    capacity=st.sampled_from([4, 8, 4096]),
+)
+def test_incremental_identifier_matches_batch_oracle(
+    steps, window, min_samples, capacity
+):
+    """identify() scores == aligned_pearson_many() at every interval."""
+    config = PerfCloudConfig(corr_window=window, corr_min_samples=min_samples)
+    identifier = AntagonistIdentifier(config)
+    victim = TimeSeries(capacity=capacity, name="victim")
+    suspects = {
+        f"s{i}": TimeSeries(capacity=capacity, name=f"s{i}")
+        for i in range(_N_SUSPECTS)
+    }
+    t = 0.0
+    for event, victim_sampled, v_val, s_vals in steps:
+        t += 0.25
+        if event == "reset_victim":
+            victim = TimeSeries(capacity=capacity, name="victim")
+        elif event == "replace_suspect":
+            suspects["s0"] = TimeSeries(capacity=capacity, name="s0")
+        elif event == "prune_suspect":
+            suspects["s1"].prune_before(t - 1.0)
+        if victim_sampled:
+            victim.append(t, v_val)
+        if event == "dense":
+            # Two victim instants closer than the incremental path's
+            # minimum grid spacing: the whole call must fall back.
+            victim.append(t + 1e-7, v_val)
+        for series, sv in zip(suspects.values(), s_vals):
+            if sv is not None:
+                series.append(t, sv)
+        got = identifier.identify("io", victim, suspects, now=t).correlations
+        if len(victim) < min_samples:
+            # <min_samples abstention: no scores at all this interval.
+            assert got == {vm: 0.0 for vm in suspects}
+            continue
+        want = aligned_pearson_many(
+            victim, suspects, window=window, policy=MissingPolicy.ZERO
+        )
+        assert got == want
+
+
+def test_incremental_identifier_uses_fast_path_in_steady_state():
+    """The oracle equality above must hold *while* the O(1) path runs —
+    a regression that silently routed everything through the full
+    realignment would pass the equivalence test but not this one."""
+    config = PerfCloudConfig(corr_window=4, corr_min_samples=3)
+    identifier = AntagonistIdentifier(config)
+    victim = TimeSeries(name="victim")
+    suspects = {f"s{i}": TimeSeries(name=f"s{i}") for i in range(3)}
+    rng = np.random.default_rng(42)
+    for k in range(30):
+        t = 0.25 * (k + 1)
+        victim.append(t, float(rng.random()))
+        for series in suspects.values():
+            series.append(t, float(rng.random()))
+        got = identifier.identify("io", victim, suspects, now=t).correlations
+        if len(victim) >= config.corr_min_samples:
+            want = aligned_pearson_many(
+                victim, suspects, window=4, policy=MissingPolicy.ZERO
+            )
+            assert got == want
+    assert identifier.fallbacks == 0
+    assert identifier.fast_updates > identifier.full_recomputes > 0
+
+
+_metric_val = st.floats(min_value=0.0, max_value=1e3, allow_nan=False)
+
+#: One VM's interval sample, or None when the monitor saw nothing.
+_vm_sample = st.one_of(
+    st.none(),
+    st.tuples(
+        _metric_val,  # iowait_ratio
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),  # cpi
+        _metric_val,  # io_bytes_ps
+        st.one_of(st.none(), _metric_val),  # llc_miss_rate (missing case)
+        _metric_val,  # cpu_usage_cores
+    ),
+)
+
+_detector_intervals = st.lists(
+    st.tuples(
+        st.lists(_vm_sample, min_size=4, max_size=4),
+        st.booleans(),  # ingested into the plane this interval?
+    ),
+    min_size=1,
+    max_size=12,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(intervals=_detector_intervals)
+def test_detector_columnar_matches_dict_path(intervals):
+    """evaluate(plane=...) == evaluate() — results and signal history.
+
+    The un-ingested intervals leave the plane stale at ``now``, so the
+    plane-carrying detector must detect that and take the dict path —
+    both branches are exercised within one stream.
+    """
+    config = PerfCloudConfig()
+    det_plane = InterferenceDetector(config)
+    det_dict = InterferenceDetector(config)
+    plane = MetricPlane(PLANE_METRICS)
+    names = [f"vm{i}" for i in range(4)]
+    app_members = {
+        "appA": names[:3],
+        "appB": [names[2], names[3], "ghost"],  # ghost: never sampled
+    }
+    for k, (per_vm, ingest) in enumerate(intervals):
+        now = 5.0 * (k + 1)
+        samples = {}
+        columns = {}
+        for name, fields in zip(names, per_vm):
+            if fields is None:
+                continue
+            iowait, cpi, io_bps, llc, cpu = fields
+            samples[name] = VmSample(
+                time=now,
+                iowait_ratio=iowait,
+                cpi=cpi,
+                io_bytes_ps=io_bps,
+                llc_miss_rate=llc,
+                cpu_usage_cores=cpu,
+            )
+            # Mirror the monitor's write: every sampled VM lands every
+            # metric except a missing LLC reading, which leaves a hole.
+            col = {
+                "iowait_ratio": iowait,
+                "cpi": cpi,
+                "io_bytes_ps": io_bps,
+                "cpu_usage_cores": cpu,
+            }
+            if llc is not None:
+                col["llc_miss_rate"] = llc
+            columns[name] = col
+        if ingest and columns:
+            plane.ingest(now, columns)
+        got = det_plane.evaluate(now, samples, app_members, plane=plane)
+        want = det_dict.evaluate(now, samples, app_members)
+        assert got == want
+    for app in app_members:
+        for kind in ("io", "cpi"):
+            a = det_plane.signal(app, kind)
+            b = det_dict.signal(app, kind)
+            assert np.array_equal(a.times(), b.times())
+            assert np.array_equal(a.values(), b.values())
+
+
+_plane_steps = st.lists(
+    st.tuples(
+        st.sampled_from([0.25, 0.5, 5.0]),  # interval length
+        st.lists(  # 2 VMs x 2 metrics; None = hole
+            st.one_of(st.none(), _values), min_size=4, max_size=4
+        ),
+        st.booleans(),  # prune_before(t - 1.0) this interval?
+    ),
+    min_size=1,
+    max_size=30,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=_plane_steps, capacity=st.sampled_from([1, 2, 3, 7, 64]))
+def test_plane_series_reads_match_timeseries(steps, capacity):
+    """PlaneSeries answers the TimeSeries read API identically.
+
+    The oracle is a plain TimeSeries per (VM, metric) fed the same
+    samples.  Plane capacity bounds the shared column count, so the
+    oracle mimics column eviction with an equivalent prune — per-series
+    contents must then match exactly, dropped/appended counters
+    included.
+    """
+    metrics = ("m0", "m1")
+    vms = ("vmA", "vmB")
+    plane = MetricPlane(metrics, capacity=capacity)
+    oracle = {
+        (vm, m): TimeSeries(capacity=4096, name=f"{vm}.{m}")
+        for vm in vms
+        for m in metrics
+    }
+    views = {key: plane.series(*key) for key in oracle}
+    grid = []  # retained ingest instants, oldest first
+    t = 0.0
+    for dt, cells, do_prune in steps:
+        t += dt
+        columns = {}
+        it = iter(cells)
+        for vm in vms:
+            col = {m: v for m in metrics if (v := next(it)) is not None}
+            if col:
+                columns[vm] = col
+        if columns:
+            plane.ingest(t, columns)
+            grid.append(t)
+            for (vm, m), ts in oracle.items():
+                v = columns.get(vm, {}).get(m)
+                if v is not None:
+                    ts.append(t, v)
+            if len(grid) > capacity:
+                # The plane evicted its oldest column; prune the oracle
+                # to the new oldest retained instant.
+                cutoff = grid[-capacity]
+                grid = grid[-capacity:]
+                for ts in oracle.values():
+                    ts.prune_before(cutoff)
+        if do_prune:
+            cutoff = t - 1.0
+            plane.prune_before(cutoff)
+            grid = [g for g in grid if g >= cutoff - 1e-9]
+            for ts in oracle.values():
+                ts.prune_before(cutoff)
+        for key, ps in views.items():
+            ts = oracle[key]
+            assert len(ps) == len(ts)
+            assert np.array_equal(ps.times(), ts.times())
+            assert np.array_equal(ps.values(), ts.values())
+            assert ps.last_time == ts.last_time
+            assert ps.last_value == ts.last_value
+            assert ps.dropped == ts.dropped
+            assert ps.appended == ts.appended
+            pt, pv = ps.tail(3)
+            ot, ov = ts.tail(3)
+            assert np.array_equal(pt, ot) and np.array_equal(pv, ov)
+            assert ps.value_at(t) == ts.value_at(t)
+            assert ps.value_at(t - 0.1) == ts.value_at(t - 0.1)
+            wt, wv = ps.window(t - 1.0, t)
+            owt, owv = ts.window(t - 1.0, t)
+            assert np.array_equal(wt, owt) and np.array_equal(wv, owv)
+            if grid:
+                q = np.asarray(grid, dtype=float)
+                pvals, ppres = ps.lookup(q)
+                ovals, opres = ts.lookup(q)
+                assert np.array_equal(pvals, ovals)
+                assert np.array_equal(ppres, opres)
+    # A removed VM reads as empty; its retained cells count as dropped.
+    before = {
+        (vm, m): (len(views[(vm, m)]), views[(vm, m)].dropped)
+        for vm in vms
+        for m in metrics
+    }
+    plane.remove_vm("vmA")
+    for m in metrics:
+        ps = views[("vmA", m)]
+        n, d = before[("vmA", m)]
+        assert len(ps) == 0
+        assert ps.dropped == n + d
+        assert ps.last_time is None and ps.last_value is None

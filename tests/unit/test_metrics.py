@@ -86,9 +86,20 @@ def test_timeseries_iter_and_bool():
 
 # ----------------------------------------------------------------------- EWMA
 
-def test_ewma_first_sample_passthrough():
+def test_ewma_unseeded_state():
     f = Ewma(alpha=0.3)
-    assert f.update(10.0) == 10.0
+    assert f.value is None
+    assert f.count == 0
+
+
+def test_ewma_first_sample_passthrough():
+    # Seeding rule s_0 = x_0: the first sample passes through unsmoothed
+    # regardless of alpha.
+    for alpha in (0.01, 0.3, 1.0):
+        f = Ewma(alpha=alpha)
+        assert f.update(10.0) == 10.0
+        assert f.value == 10.0
+        assert f.count == 1
 
 
 def test_ewma_recursion():
@@ -105,17 +116,43 @@ def test_ewma_alpha_one_tracks_exactly():
     assert f.update(8.0) == 8.0
 
 
-def test_ewma_invalid_alpha():
+@pytest.mark.parametrize("alpha", [0.0, -0.1, 1.5, float("nan")])
+def test_ewma_invalid_alpha(alpha):
+    # Valid range is (0, 1]: 0 would never move off the seed, >1 would
+    # overshoot, and NaN fails every comparison.
     with pytest.raises(ValueError):
-        Ewma(alpha=0.0)
-    with pytest.raises(ValueError):
-        Ewma(alpha=1.5)
+        Ewma(alpha=alpha)
 
 
-def test_ewma_rejects_nonfinite():
+@pytest.mark.parametrize("alpha", [1e-9, 0.5, 1.0])
+def test_ewma_boundary_alphas_accepted(alpha):
+    assert Ewma(alpha=alpha).alpha == alpha
+
+
+@pytest.mark.parametrize(
+    "bad", [float("nan"), float("inf"), float("-inf")]
+)
+def test_ewma_rejects_nonfinite(bad):
     f = Ewma()
     with pytest.raises(ValueError):
+        f.update(bad)
+
+
+def test_ewma_nonfinite_rejection_leaves_state_intact():
+    # A poisoned sample must not corrupt the smoothed state or the
+    # sample count — the monitor keeps the filter across intervals.
+    f = Ewma(alpha=0.5)
+    f.update(4.0)
+    with pytest.raises(ValueError):
         f.update(float("nan"))
+    assert f.value == 4.0
+    assert f.count == 1
+    assert f.update(2.0) == 3.0
+
+
+def test_ewma_series_rejects_nonfinite():
+    with pytest.raises(ValueError):
+        ewma_series([1.0, float("inf"), 2.0], alpha=0.5)
 
 
 def test_ewma_reset():

@@ -48,6 +48,23 @@ def test_key_distinguishes_seed_and_code_version():
     assert task_key(_Cfg(), seed=1, code="other") != base
 
 
+def test_key_changes_across_numpy_feature_releases(monkeypatch):
+    import numpy
+
+    base = task_key(_Cfg())
+    monkeypatch.setattr(numpy, "__version__", "999.0.0")
+    assert task_key(_Cfg()) != base
+
+
+def test_key_stable_across_numpy_patch_releases(monkeypatch):
+    import numpy
+
+    major, minor = numpy.__version__.split(".")[:2]
+    base = task_key(_Cfg())
+    monkeypatch.setattr(numpy, "__version__", f"{major}.{minor}.999")
+    assert task_key(_Cfg()) == base
+
+
 def test_key_covers_nested_dataclasses_and_callables():
     cfg = PerfCloudConfig(beta=0.8)
     assert task_key(cfg) != task_key(PerfCloudConfig(beta=0.5))
