@@ -7,7 +7,7 @@ CACHE_DIR ?= .repro-cache
 # Run straight from the source tree — no `pip install -e .` needed.
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: install test chaos bench bench-quick bench-figures bench-figures-full examples figures sweep clean
+.PHONY: install test chaos scenarios scenarios-quick bench bench-quick bench-figures bench-figures-full examples figures sweep clean
 
 install:
 	pip install -e .
@@ -21,6 +21,18 @@ test:
 chaos:
 	$(PY) -m pytest -x -q -m chaos
 	$(PY) -m repro chaos
+
+# The scored acceptance corpus: every scenarios/*.yaml run through the
+# parallel engine with a warm result cache, plus the scenario-marked
+# pytest acceptance layer.  Exits non-zero unless every scenario passes.
+# See docs/SCENARIOS.md.
+scenarios:
+	$(PY) -m pytest -x -q -m scenarios
+	$(PY) -m repro scenarios --workers $(WORKERS) --cache-dir $(CACHE_DIR)
+
+# Just the quick-tagged subset — seconds, not minutes.
+scenarios-quick:
+	$(PY) -m repro scenarios --quick --workers $(WORKERS)
 
 # Performance-regression harness: micro + macro suites, compared against
 # the committed baseline (benchmarks/perf/baseline.json) with the 30%

@@ -2,103 +2,62 @@
 """A blind spot of the published design: network contention.
 
 PerfCloud monitors blkio counters (disk) and CPI/LLC counters
-(processor) — there is no network-side detection metric.  This example
-runs a shuffle-heavy Spark job across two servers while a pair of
-tenant VMs saturates the NICs with an iperf-style bulk stream, and shows:
+(processor) — there is no network-side detection metric.  A pair of
+tenant VMs saturating the NICs with an iperf-style bulk stream degrades
+a shuffle-heavy Spark job while both deviation signals stay below
+threshold and nothing is throttled.
 
-* the victim degrades substantially,
-* PerfCloud's deviation signals stay *below* both thresholds,
-* no VM is ever throttled.
-
-The same structure that detects disk contention (deviation of a per-VM
-wait ratio) could be extended with, e.g., per-VM TCP retransmit or
-qdisc-backlog counters — left as an exercise faithful to the paper's
-non-invasive philosophy.
+This demonstration now lives in the scored scenario corpus as
+``scenarios/net_blindspot_iperf.yaml``, where CI runs it as an expected
+*negative result* (real slowdown, zero identifications, zero throttles).
+This script is a thin wrapper: it loads that exact scenario, runs it —
+contended world plus the automatic antagonist-free baseline — through
+the same runner the corpus uses, and narrates the outcome.
 
 Run:  python examples/limitations_network.py
 """
 
-from dataclasses import replace
+import sys
+from pathlib import Path
 
-from repro import (
-    CloudManager,
-    Cluster,
-    HdfsCluster,
-    NicSpec,
-    PerfCloud,
-    Priority,
-    R630,
-    Simulator,
-    SparkScheduler,
-    page_rank,
-)
-from repro.workloads.antagonists import IperfStream
-from repro.workloads.datagen import sparkbench_synthetic
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-#: A join-heavy analytics app: little compute, lots of all-to-all shuffle —
-#: the workload class most exposed to NIC contention.
-JOIN_HEAVY = replace(
-    page_rank(),
-    name="join-heavy",
-    iterations=5,
-    iter_cpu_per_mb=0.020,
-    iter_shuffle_ratio=2.0,
-    iter_disk_fraction=0.05,
-)
+from repro.scenarios import load_scenario_file, run_corpus, scenario_hash
 
 
-def run(with_iperf: bool, seed: int = 7):
-    sim = Simulator(dt=1.0, seed=seed)
-    # Gigabit-NIC servers: the regime where shuffle and bulk streams fight.
-    spec = replace(R630, nic=NicSpec(bandwidth_gbps=1.0))
-    cluster = Cluster(sim, default_spec=spec)
-    cluster.add_host("server0")
-    cluster.add_host("server1")
-    cloud = CloudManager(cluster)
-    workers = [
-        cloud.boot(f"w{i}", priority=Priority.HIGH, app_id="spark",
-                   host=f"server{i % 2}")
-        for i in range(8)
-    ]
-    hdfs = HdfsCluster([w.name for w in workers], sim.rng.stream("hdfs"))
-    spark = SparkScheduler(sim, workers, hdfs)
-    app = spark.submit(JOIN_HEAVY, sparkbench_synthetic("join", 1280))
-
-    if with_iperf:
-        # Two tenant VMs streaming at each other across the same NICs the
-        # shuffle uses.
-        a = cloud.boot("iperf-a", host="server0")
-        b = cloud.boot("iperf-b", host="server1")
-        a.attach_workload(IperfStream(peer_vm="iperf-b", rate_gbps=0.95, streams=64))
-        b.attach_workload(IperfStream(peer_vm="iperf-a", rate_gbps=0.95, streams=64))
-
-    perfcloud = PerfCloud(sim, cloud)
-    sim.run(4000)
-    return app, perfcloud
+SCENARIO = (Path(__file__).resolve().parents[1]
+            / "scenarios" / "net_blindspot_iperf.yaml")
 
 
-def main() -> None:
-    app, _ = run(with_iperf=False)
-    baseline = app.completion_time
+def main() -> int:
+    spec = load_scenario_file(SCENARIO)
+    print(f"scenario: {spec.name}  (hash {scenario_hash(spec)[:12]})")
+    print(f"  {spec.description.strip()}\n")
+
+    result = run_corpus([spec])
+    record = result.records[0]
+    m = record.metrics
+
+    baseline = m["baseline_victim_jct"]
+    contended = m["victim_jct"]
     print(f"join-heavy app alone:           JCT = {baseline:.0f} s")
-
-    app, perfcloud = run(with_iperf=True)
-    contended = app.completion_time
     print(f"join-heavy + iperf neighbours:  JCT = {contended:.0f} s "
-          f"(+{(contended / baseline - 1) * 100:.0f}%)\n")
+          f"(+{(m['victim_slowdown'] - 1) * 100:.0f}%)\n")
+    print(f"peak iowait-std = {m['max_io_signal']:.2f}, "
+          f"peak CPI-std = {m['max_cpi_signal']:.2f}, "
+          f"identified = {list(m['identified'])}, "
+          f"throttle actions = {m['throttle_actions']}\n")
 
-    for host, nm in sorted(perfcloud.node_managers.items()):
-        sig_io = nm.detector.signal("spark", "io")
-        sig_cpi = nm.detector.signal("spark", "cpi")
-        print(f"{host}: peak iowait-std = {max(sig_io.values()):.2f} "
-              f"(threshold {nm.config.h_io:g}), "
-              f"peak CPI-std = {max(sig_cpi.values()):.2f} "
-              f"(threshold {nm.config.h_cpi:g}), "
-              f"throttle actions = {len(nm.actions)}")
+    for check in record.score.checks:
+        mark = "ok " if check.passed else "FAIL"
+        print(f"  [{mark}] {check.metric} {check.expected} "
+              f"(observed {check.observed})")
+
     print("\nThe victim lost throughput on the wire, where PerfCloud has "
           "no sensor:\nboth deviation signals stayed below threshold and "
           "nothing was throttled.")
+    return 0 if record.passed else 1
 
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

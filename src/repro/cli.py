@@ -9,6 +9,8 @@
     python -m repro sweep --workers 4    # β/γ closed-loop sensitivity grid
     python -m repro chaos                # Fig. 9 under fault injection
     python -m repro bench --compare      # perf suite vs committed baseline
+    python -m repro scenarios            # scored acceptance corpus
+    python -m repro scenarios --quick    # the quick-tagged subset
     python -m repro demo                 # the quickstart scenario
 
 Each figure command accepts ``--seed`` and prints the same tables the
@@ -197,6 +199,41 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0 if result.survived else 1
 
 
+def _run_scenarios(args: argparse.Namespace) -> int:
+    from repro.scenarios import (
+        filter_scenarios, load_corpus, run_corpus, scenario_hash,
+    )
+    from repro.scenarios.spec import ScenarioError
+
+    try:
+        specs = load_corpus(args.dir)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    selectors = list(args.filter)
+    if args.quick:
+        selectors.append("tag:quick")
+    specs = filter_scenarios(specs, selectors)
+    if not specs:
+        print("no scenarios match the given filters", file=sys.stderr)
+        return 2
+    if args.list:
+        rows = [[s.name, ",".join(s.tags), s.world.seed,
+                 scenario_hash(s)[:12], len(s.expect)]
+                for s in specs]
+        print(render_table(["scenario", "tags", "seed", "hash", "checks"],
+                           rows, title="scenario corpus"))
+        return 0
+    result = run_corpus(specs, workers=args.workers, cache_dir=args.cache_dir,
+                        progress=ProgressReporter("scenarios"))
+    print(result.render())
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.to_jsonable(), fh, indent=2)
+        print(f"\nscored matrix written to {args.json}")
+    return 0 if result.all_passed else 1
+
+
 def _add_parallel_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workers", type=int, default=0, metavar="N",
                    help="process-parallel fan-out of independent runs "
@@ -286,6 +323,25 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="S")
     chaos.add_argument("--json", metavar="PATH", default=None,
                        help="dump the raw result as JSON")
+    scenarios = sub.add_parser(
+        "scenarios",
+        help="run the scored acceptance corpus (exit 0 = all scenarios pass)",
+    )
+    scenarios.add_argument("--filter", action="append", default=[],
+                           metavar="TOKEN",
+                           help="keep scenarios whose name contains TOKEN, "
+                                "or 'tag:<tag>' for an exact tag match "
+                                "(repeatable; any match keeps)")
+    scenarios.add_argument("--quick", action="store_true",
+                           help="only the quick-tagged subset "
+                                "(same as --filter tag:quick)")
+    scenarios.add_argument("--list", action="store_true",
+                           help="list matching scenarios without running")
+    scenarios.add_argument("--dir", metavar="PATH", default=None,
+                           help="corpus directory (default: <repo>/scenarios)")
+    scenarios.add_argument("--json", metavar="PATH", default=None,
+                           help="write the scored matrix as JSON")
+    _add_parallel_args(scenarios)
     bench = sub.add_parser(
         "bench",
         help="hot-path benchmark suite + performance-regression gate "
@@ -338,7 +394,8 @@ def main(argv=None) -> int:
         print("\nalso: `demo` — the quickstart scenario;"
               " `sweep` — the β/γ sensitivity grid;"
               " `chaos` — the mitigation scenario under fault injection;"
-              " `bench` — the performance-regression suite")
+              " `bench` — the performance-regression suite;"
+              " `scenarios` — the scored acceptance corpus")
         return 0
     if args.command == "demo":
         return _run_demo(args)
@@ -346,6 +403,8 @@ def main(argv=None) -> int:
         return _run_sweep(args)
     if args.command == "chaos":
         return _run_chaos(args)
+    if args.command == "scenarios":
+        return _run_scenarios(args)
     if args.command == "bench":
         from repro.bench.runner import main as bench_main
 

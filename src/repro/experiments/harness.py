@@ -25,6 +25,7 @@ from repro.sim.engine import Simulator
 from repro.virt.cluster import Cluster
 from repro.virt.vm import VM, Priority
 from repro.workloads.antagonists import (
+    AdaptiveFio,
     FioRandomRead,
     StreamBenchmark,
     SysbenchCpu,
@@ -48,6 +49,8 @@ _ANTAGONISTS: Dict[str, Tuple[str, Callable[[], object]]] = {
         "m1.large",
         lambda: StreamBenchmark(threads=8, on_s=35.0, off_s=25.0),
     ),
+    # Throttle-evading fio for the adaptive-antagonist scenarios.
+    "fio-adaptive": ("m1.large", AdaptiveFio),
 }
 
 

@@ -1,0 +1,65 @@
+"""Declarative scenario corpus with scored acceptance.
+
+A scenario is a YAML document declaring a whole experiment world —
+topology, workload mix, antagonist schedule, fault plan, policy — plus
+*typed expectations* about its outcome (``victim_slowdown < 1.3``,
+``identified == [fio]``, ``throttle_actions == 0``).  The loader turns
+documents into frozen :class:`~repro.scenarios.spec.ScenarioSpec` trees
+with a content hash per scenario and per corpus; the runner executes the
+corpus through the parallel experiment engine and result cache; the
+scorer evaluates every expectation into pass/fail records and a scored
+matrix.
+
+See ``docs/SCENARIOS.md`` for the DSL reference, ``scenarios/`` for the
+seeded corpus, and ``repro scenarios --help`` for the CLI.
+"""
+
+from repro.scenarios.loader import (
+    corpus_digest,
+    filter_scenarios,
+    load_corpus,
+    load_scenario_file,
+    parse_scenario,
+    serialize_scenario,
+)
+from repro.scenarios.runner import CorpusResult, ScenarioTask, run_corpus
+from repro.scenarios.scorer import CheckResult, ScenarioScore, score_scenario
+from repro.scenarios.spec import (
+    AntagonistDef,
+    Expectation,
+    HostDef,
+    JobDef,
+    PolicyDef,
+    ScenarioError,
+    ScenarioSpec,
+    TrafficDef,
+    WorkloadDef,
+    WorldDef,
+    scenario_hash,
+)
+
+__all__ = [
+    "AntagonistDef",
+    "CheckResult",
+    "CorpusResult",
+    "Expectation",
+    "HostDef",
+    "JobDef",
+    "PolicyDef",
+    "ScenarioError",
+    "ScenarioScore",
+    "ScenarioSpec",
+    "ScenarioTask",
+    "TrafficDef",
+    "WorkloadDef",
+    "WorldDef",
+    "corpus_digest",
+    "filter_scenarios",
+    "load_corpus",
+    "load_scenario_file",
+    "parse_scenario",
+    "run_corpus",
+    "scenario_hash",
+    "score_scenario",
+    "serialize_scenario",
+]

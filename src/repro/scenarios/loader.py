@@ -1,0 +1,135 @@
+"""Scenario corpus loading, serialization, filtering, and hashing.
+
+YAML in, :class:`~repro.scenarios.spec.ScenarioSpec` out — with every
+parse error converted into a :class:`~repro.scenarios.spec.ScenarioError`
+naming the file and the offending field.  Serialization emits the
+normal form, so ``parse(serialize(parse(x))) == parse(x)`` holds for any
+valid document (the Hypothesis round-trip tests pin this down).
+
+The corpus digest is a content hash over the sorted ``(name, hash)``
+pairs of every member scenario: stable across processes, machines, and
+``PYTHONHASHSEED``; sensitive to any semantic change in any member.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Iterable, List, Optional, Sequence, Union
+
+from repro.experiments.cache import stable_hash
+from repro.scenarios.spec import ScenarioError, ScenarioSpec, scenario_hash
+
+__all__ = [
+    "corpus_digest",
+    "default_corpus_dir",
+    "filter_scenarios",
+    "load_corpus",
+    "load_scenario_file",
+    "parse_scenario",
+    "serialize_scenario",
+]
+
+
+def _yaml():
+    try:
+        import yaml
+    except ImportError as exc:  # pragma: no cover - environment-dependent
+        raise ScenarioError(
+            "yaml", "the scenario DSL needs PyYAML (pip install pyyaml)"
+        ) from exc
+    return yaml
+
+
+def default_corpus_dir() -> Path:
+    """The committed corpus: ``<repo>/scenarios``."""
+    return Path(__file__).resolve().parents[3] / "scenarios"
+
+
+def parse_scenario(doc: Union[str, dict], *, source: str = "<string>") -> ScenarioSpec:
+    """Parse one scenario from YAML text or an already-decoded mapping."""
+    if isinstance(doc, str):
+        yaml = _yaml()
+        try:
+            doc = yaml.safe_load(doc)
+        except yaml.YAMLError as exc:
+            raise ScenarioError(source, f"invalid YAML: {exc}") from exc
+    try:
+        return ScenarioSpec.from_dict(doc, "scenario")
+    except ScenarioError as exc:
+        if source != "<string>":
+            raise ScenarioError(f"{source}:{exc.field}",
+                                str(exc).split(": ", 1)[1]) from exc
+        raise
+
+
+def load_scenario_file(path: Union[str, Path]) -> ScenarioSpec:
+    """Load one ``*.yaml`` scenario document."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ScenarioError(str(path), f"cannot read scenario file: {exc}") from exc
+    return parse_scenario(text, source=path.name)
+
+
+def serialize_scenario(spec: ScenarioSpec) -> str:
+    """The YAML normal form of ``spec`` (stable under reparsing)."""
+    yaml = _yaml()
+    return yaml.safe_dump(spec.to_dict(), sort_keys=False,
+                          default_flow_style=False)
+
+
+def load_corpus(directory: Union[str, Path, None] = None) -> List[ScenarioSpec]:
+    """Load every ``*.yaml`` under ``directory``, sorted by scenario name.
+
+    Duplicate scenario names across files are an error — the corpus
+    digest and the scored matrix key on names.
+    """
+    root = Path(directory) if directory is not None else default_corpus_dir()
+    if not root.is_dir():
+        raise ScenarioError(str(root), "scenario corpus directory not found")
+    specs: List[ScenarioSpec] = []
+    seen = {}
+    for path in sorted(root.glob("*.yaml")) + sorted(root.glob("*.yml")):
+        spec = load_scenario_file(path)
+        if spec.name in seen:
+            raise ScenarioError(
+                f"{path.name}:scenario.name",
+                f"duplicate scenario name {spec.name!r} "
+                f"(also in {seen[spec.name]})",
+            )
+        seen[spec.name] = path.name
+        specs.append(spec)
+    specs.sort(key=lambda s: s.name)
+    return specs
+
+
+def filter_scenarios(
+    specs: Sequence[ScenarioSpec],
+    selectors: Optional[Iterable[str]] = None,
+) -> List[ScenarioSpec]:
+    """Subset ``specs`` by selector tokens.
+
+    Each token is either ``tag:<tag>`` (exact tag match) or a substring
+    of the scenario name; a scenario is kept when *any* token matches.
+    ``None`` or an empty selector list keeps everything.
+    """
+    tokens = [t for t in (selectors or []) if t]
+    if not tokens:
+        return list(specs)
+
+    def matches(spec: ScenarioSpec) -> bool:
+        for token in tokens:
+            if token.startswith("tag:"):
+                if spec.has_tag(token[4:]):
+                    return True
+            elif token in spec.name:
+                return True
+        return False
+
+    return [s for s in specs if matches(s)]
+
+
+def corpus_digest(specs: Sequence[ScenarioSpec]) -> str:
+    """Content hash of a whole corpus (order-insensitive)."""
+    return stable_hash(sorted((s.name, scenario_hash(s)) for s in specs))

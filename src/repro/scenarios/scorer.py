@@ -1,0 +1,196 @@
+"""Expectation evaluation: outcome metrics → pass/fail/score records.
+
+Semantics the tests pin down:
+
+* A **missing metric fails** its expectation — it never silently passes.
+  Same for NaN observations on numeric comparators: a scenario whose
+  victim job never finished must not satisfy ``victim_jct < 900``.
+* Numeric comparators (``<``, ``<=``, ``>``, ``>=``) require numeric
+  observations; ``approx`` is the tolerance band ``|obs - value| <= tol``.
+* ``==``/``!=`` on a list value, and ``set_eq``, compare as *sets* of
+  names (order-insensitive — matching how antagonist identities are
+  reported); on scalars they compare exactly.
+* ``contains`` / ``not_contains`` test membership of every named item;
+  ``is_empty`` / ``not_empty`` test collection emptiness.
+
+A scenario passes when every expectation passes; its score is the
+fraction that did.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.scenarios.spec import Expectation, ScenarioSpec
+
+__all__ = ["CheckResult", "ScenarioScore", "evaluate_expectation", "score_scenario"]
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Verdict of one expectation against one outcome."""
+
+    metric: str
+    op: str
+    expected: str
+    observed: str
+    passed: bool
+    #: Human-readable cause when failed ("metric missing", "NaN", ...).
+    reason: str = ""
+
+
+@dataclass(frozen=True)
+class ScenarioScore:
+    """All of one scenario's checks, folded into a verdict."""
+
+    name: str
+    passed: bool
+    #: Fraction of expectations that passed, in [0, 1].
+    score: float
+    checks: Tuple[CheckResult, ...]
+
+    @property
+    def summary(self) -> str:
+        """``3/4`` style pass count."""
+        done = sum(1 for c in self.checks if c.passed)
+        return f"{done}/{len(self.checks)}"
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    if isinstance(value, (tuple, list)):
+        return "[" + ", ".join(str(v) for v in value) + "]"
+    return str(value)
+
+
+def _is_nan(value: Any) -> bool:
+    return isinstance(value, float) and math.isnan(value)
+
+
+def _numeric(value: Any) -> Optional[float]:
+    """The observation as a float, or None when it isn't comparable."""
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)) and not _is_nan(value):
+        return float(value)
+    return None
+
+
+def _as_name_set(value: Any) -> Optional[frozenset]:
+    if isinstance(value, str):
+        return frozenset((value,))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return frozenset(str(v) for v in value)
+    return None
+
+
+def evaluate_expectation(
+    exp: Expectation, metrics: Mapping[str, Any]
+) -> CheckResult:
+    """Judge one expectation against the outcome metrics."""
+    observed = metrics.get(exp.metric, _MISSING)
+
+    def result(passed: bool, reason: str = "") -> CheckResult:
+        shown = "<missing>" if observed is _MISSING else _fmt(observed)
+        expected = exp.op if exp.value is None else f"{exp.op} {_fmt(exp.value)}"
+        if exp.tol is not None:
+            expected += f" ± {_fmt(exp.tol)}"
+        return CheckResult(metric=exp.metric, op=exp.op, expected=expected,
+                           observed=shown, passed=passed, reason=reason)
+
+    if observed is _MISSING:
+        return result(False, "metric missing from outcome")
+    if _is_nan(observed):
+        return result(False, "observed value is NaN")
+
+    op, value = exp.op, exp.value
+    if op in ("<", "<=", ">", ">=", "approx"):
+        obs = _numeric(observed)
+        if obs is None:
+            return result(False, f"not numeric: {type(observed).__name__}")
+        if op == "approx":
+            return result(abs(obs - float(value)) <= exp.tol)
+        want = float(value)
+        ok = {"<": obs < want, "<=": obs <= want,
+              ">": obs > want, ">=": obs >= want}[op]
+        return result(ok)
+
+    if op in ("set_eq", "contains", "not_contains") or (
+        op in ("==", "!=") and isinstance(value, tuple)
+    ):
+        obs_set = _as_name_set(observed)
+        if obs_set is None:
+            return result(False,
+                          f"not a collection: {type(observed).__name__}")
+        want_set = _as_name_set(value)
+        if op in ("set_eq", "=="):
+            return result(obs_set == want_set)
+        if op == "!=":
+            return result(obs_set != want_set)
+        if op == "contains":
+            return result(want_set <= obs_set)
+        return result(not (want_set & obs_set))
+
+    if op in ("is_empty", "not_empty"):
+        obs_set = _as_name_set(observed)
+        if obs_set is None:
+            return result(False,
+                          f"not a collection: {type(observed).__name__}")
+        return result((len(obs_set) == 0) == (op == "is_empty"))
+
+    # Scalar ==/!= (numbers compare numerically so 0 == 0.0 passes).
+    obs_num, want_num = _numeric(observed), _numeric(value)
+    if obs_num is not None and want_num is not None:
+        equal = obs_num == want_num
+    else:
+        equal = observed == value
+    return result(equal if op == "==" else not equal)
+
+
+def score_scenario(
+    spec: ScenarioSpec,
+    metrics: Optional[Mapping[str, Any]],
+    *,
+    error: Optional[str] = None,
+) -> ScenarioScore:
+    """Score one scenario's outcome (or its failure to produce one).
+
+    ``error`` (the runner's captured exception text) fails every
+    expectation with that reason — a crashed world never passes.
+    """
+    if error is not None or metrics is None:
+        reason = error or "no outcome"
+        checks = tuple(
+            CheckResult(metric=e.metric, op=e.op,
+                        expected=(e.op if e.value is None
+                                  else f"{e.op} {_fmt(e.value)}"),
+                        observed="<error>", passed=False, reason=reason)
+            for e in spec.expect
+        )
+        return ScenarioScore(name=spec.name, passed=False, score=0.0,
+                             checks=checks)
+    checks = tuple(evaluate_expectation(e, metrics) for e in spec.expect)
+    done = sum(1 for c in checks if c.passed)
+    return ScenarioScore(
+        name=spec.name,
+        passed=done == len(checks),
+        score=done / len(checks) if checks else 1.0,
+        checks=checks,
+    )
+
+
+def checks_to_jsonable(checks: Tuple[CheckResult, ...]) -> List[Dict[str, Any]]:
+    """Plain-dict rendering for the scored-matrix JSON."""
+    return [
+        {
+            "metric": c.metric, "op": c.op, "expected": c.expected,
+            "observed": c.observed, "passed": c.passed,
+            **({"reason": c.reason} if c.reason else {}),
+        }
+        for c in checks
+    ]

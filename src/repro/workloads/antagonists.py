@@ -29,7 +29,14 @@ from typing import Optional
 from repro.hardware.resources import PerfProfile, ResourceDemand, ResourceGrant
 from repro.workloads.base import RateTracker, TimedDriver
 
-__all__ = ["FioRandomRead", "IperfStream", "StreamBenchmark", "SysbenchOltp", "SysbenchCpu"]
+__all__ = [
+    "AdaptiveFio",
+    "FioRandomRead",
+    "IperfStream",
+    "StreamBenchmark",
+    "SysbenchOltp",
+    "SysbenchCpu",
+]
 
 
 class FioRandomRead(TimedDriver):
@@ -126,6 +133,96 @@ class StreamBenchmark(TimedDriver):
     def achieved_bandwidth_gbps(self) -> float:
         """Windowed DRAM bandwidth actually moved."""
         return self.bandwidth.rate() / 1e9
+
+
+class AdaptiveFio(TimedDriver):
+    """A throttle-aware fio: it senses when its achieved IOPS collapses
+    below its demand (a cap landed) and goes dormant until the cubic
+    recovery releases it, then surges again.
+
+    Not in the paper's antagonist set — built for the scenario corpus to
+    probe the CUBIC controller against an adversary that *adapts* to
+    mitigation instead of hammering steadily.  The on/off pattern it
+    produces still correlates with the victim's contention signal during
+    surges, so PerfCloud should keep re-identifying it; what the scenario
+    measures is how much antagonist work leaks through between episodes.
+    """
+
+    profile = FioRandomRead.profile
+
+    def __init__(
+        self,
+        iops_demand: float = 3300.0,
+        block_kb: float = 4.0,
+        duration_s: Optional[float] = None,
+        *,
+        backoff_ratio: float = 0.5,
+        sense_s: float = 15.0,
+        dormant_s: float = 90.0,
+        dormant_frac: float = 0.02,
+    ) -> None:
+        super().__init__(duration_s)
+        if iops_demand <= 0 or block_kb <= 0:
+            raise ValueError("iops_demand and block_kb must be positive")
+        if not 0.0 < backoff_ratio < 1.0:
+            raise ValueError("backoff_ratio must be in (0, 1)")
+        if sense_s <= 0 or dormant_s <= 0:
+            raise ValueError("sense_s and dormant_s must be positive")
+        if not 0.0 <= dormant_frac < 1.0:
+            raise ValueError("dormant_frac must be in [0, 1)")
+        self.iops_demand = float(iops_demand)
+        self.block_bytes = block_kb * 1024.0
+        self.backoff_ratio = float(backoff_ratio)
+        self.sense_s = float(sense_s)
+        self.dormant_s = float(dormant_s)
+        self.dormant_frac = float(dormant_frac)
+        self.iops = RateTracker(window_s=sense_s)
+        #: Times the driver detected a cap and went dormant.
+        self.backoffs = 0
+        self._dormant_until: Optional[float] = None
+        self._sensed_s = 0.0
+
+    @property
+    def dormant(self) -> bool:
+        """Whether the driver is currently lying low."""
+        return (self._dormant_until is not None
+                and self.elapsed_s < self._dormant_until)
+
+    def demand(self) -> ResourceDemand:
+        """Full random-read appetite while surging, a trickle while dormant."""
+        if self.finished:
+            return ResourceDemand()
+        iops = self.iops_demand * (self.dormant_frac if self.dormant else 1.0)
+        if iops <= 0:
+            return ResourceDemand()
+        return ResourceDemand(
+            cpu_cores=0.5,
+            read_iops=iops,
+            read_bytes_ps=iops * self.block_bytes,
+            mem_bw_gbps=0.2,
+            llc_ws_mb=2.0,
+        )
+
+    def consume(self, grant: ResourceGrant) -> None:
+        """Track achieved IOPS and flip dormant when a cap is sensed."""
+        self.iops.record(grant.read_ops, grant.dt)
+        self._account_time(grant.dt)
+        if self.dormant:
+            self._sensed_s = 0.0
+            return
+        if self._dormant_until is not None and not self.dormant:
+            self._dormant_until = None  # dormancy expired: surging again
+        self._sensed_s += grant.dt
+        if self._sensed_s < self.sense_s:
+            return  # not enough window to judge the achieved rate yet
+        if self.iops.rate() < self.backoff_ratio * self.iops_demand:
+            self.backoffs += 1
+            self._dormant_until = self.elapsed_s + self.dormant_s
+            self._sensed_s = 0.0
+
+    def achieved_iops(self) -> float:
+        """Windowed read IOPS actually served."""
+        return self.iops.rate()
 
 
 class SysbenchOltp(TimedDriver):

@@ -19,7 +19,13 @@ from repro.workloads.datagen import DEFAULT_BLOCK_MB, Dataset, teragen, wikipedi
 from repro.workloads.puma import PUMA_BENCHMARKS
 from repro.workloads.sparkbench import SPARKBENCH_BENCHMARKS
 
-__all__ = ["JobRequest", "WorkloadMix", "facebook_like_mix"]
+__all__ = [
+    "JobRequest",
+    "WorkloadMix",
+    "diurnal_mix",
+    "facebook_like_mix",
+    "flash_crowd_mix",
+]
 
 
 @dataclass(frozen=True)
@@ -88,53 +94,160 @@ def facebook_like_mix(
     64 MB block per task; MapReduce text benchmarks draw Wikipedia-shaped
     inputs, terasort draws TeraGen-shaped inputs.
     """
-    if kind not in ("mapreduce", "spark"):
-        raise ValueError(f"unknown job kind {kind!r}")
     if count < 0:
         raise ValueError("count must be non-negative")
     if not 0.0 <= small_fraction <= 1.0:
         raise ValueError("small_fraction must be within [0, 1]")
+    # The default PUMA selection (grep stands in for its light scans).
+    names = _validated_names(kind, benchmarks)
+
+    jobs: List[JobRequest] = []
+    t = start_time
+    for i in range(count):
+        t += float(rng.exponential(mean_interarrival_s))
+        jobs.append(_draw_job(kind, names, rng, t, small_fraction))
+    return WorkloadMix(jobs=jobs)
+
+
+def _validated_names(
+    kind: str, benchmarks: Optional[Sequence[str]]
+) -> List[str]:
+    """The benchmark pool for ``kind`` (defaults mirror the paper's)."""
+    if kind not in ("mapreduce", "spark"):
+        raise ValueError(f"unknown job kind {kind!r}")
     registry: Dict[str, object] = (
         PUMA_BENCHMARKS if kind == "mapreduce" else SPARKBENCH_BENCHMARKS
     )
     if benchmarks is not None:
         names = list(benchmarks)
     elif kind == "mapreduce":
-        # The paper's PUMA selection (grep stands in for its light scans).
         names = ["grep", "inverted-index", "terasort", "wordcount"]
     else:
         names = ["kmeans", "logistic-regression", "page-rank", "svm"]
     for n in names:
         if n not in registry:
             raise KeyError(f"unknown {kind} benchmark {n!r}")
+    return names
+
+
+def _draw_job(
+    kind: str,
+    names: Sequence[str],
+    rng: np.random.Generator,
+    submit_time: float,
+    small_fraction: float,
+    max_tasks: int = 50,
+) -> JobRequest:
+    """One Facebook-distributed job arriving at ``submit_time``."""
+    if rng.random() < small_fraction:
+        tasks = int(rng.integers(1, 10))
+    else:
+        tasks = int(rng.integers(10, min(max_tasks, 50) + 1))
+    size_mb = tasks * DEFAULT_BLOCK_MB
+    bench = names[int(rng.integers(0, len(names)))]
+    if kind == "mapreduce":
+        dataset = (
+            teragen(size_mb) if bench == "terasort" else wikipedia(size_mb)
+        )
+        reducers = max(1, tasks // 2)
+    else:
+        from repro.workloads.datagen import sparkbench_synthetic
+
+        dataset = sparkbench_synthetic(bench, size_mb)
+        reducers = 1
+    return JobRequest(
+        kind=kind,
+        benchmark=bench,
+        dataset=dataset,
+        submit_time=submit_time,
+        num_reducers=reducers,
+    )
+
+
+def diurnal_mix(
+    kind: str,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    period_s: float = 86400.0,
+    trough_factor: float = 0.1,
+    peak_at_frac: float = 0.5,
+    benchmarks: Optional[Sequence[str]] = None,
+    small_fraction: float = 0.8,
+    mean_interarrival_s: float = 30.0,
+    start_time: float = 0.0,
+    max_tasks: int = 50,
+) -> WorkloadMix:
+    """A day-shaped arrival wave: the millions-of-users traffic pattern.
+
+    The instantaneous arrival rate follows a raised cosine over
+    ``period_s`` — peaking at ``peak_at_frac`` of the period and bottoming
+    out at ``trough_factor`` of the peak rate — realized by thinning a
+    Poisson process running at the peak rate (deterministic given ``rng``).
+    ``mean_interarrival_s`` is the interarrival time *at the peak*.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if period_s <= 0 or mean_interarrival_s <= 0:
+        raise ValueError("period_s and mean_interarrival_s must be positive")
+    if not 0.0 <= trough_factor <= 1.0:
+        raise ValueError("trough_factor must be within [0, 1]")
+    if not 0.0 <= peak_at_frac <= 1.0:
+        raise ValueError("peak_at_frac must be within [0, 1]")
+    names = _validated_names(kind, benchmarks)
+
+    def rate_frac(t: float) -> float:
+        phase = 2.0 * np.pi * ((t / period_s) - peak_at_frac)
+        wave = 0.5 * (1.0 + np.cos(phase))  # 1 at peak, 0 at trough
+        return trough_factor + (1.0 - trough_factor) * wave
 
     jobs: List[JobRequest] = []
     t = start_time
-    for i in range(count):
+    while len(jobs) < count:
         t += float(rng.exponential(mean_interarrival_s))
-        if rng.random() < small_fraction:
-            tasks = int(rng.integers(1, 10))
-        else:
-            tasks = int(rng.integers(10, 51))
-        size_mb = tasks * DEFAULT_BLOCK_MB
-        bench = names[int(rng.integers(0, len(names)))]
-        if kind == "mapreduce":
-            dataset = (
-                teragen(size_mb) if bench == "terasort" else wikipedia(size_mb)
-            )
-            reducers = max(1, tasks // 2)
-        else:
-            from repro.workloads.datagen import sparkbench_synthetic
+        if rng.random() <= rate_frac(t):  # Lewis-Shedler thinning
+            jobs.append(_draw_job(kind, names, rng, t, small_fraction,
+                                  max_tasks=max_tasks))
+    return WorkloadMix(jobs=jobs)
 
-            dataset = sparkbench_synthetic(bench, size_mb)
-            reducers = 1
-        jobs.append(
-            JobRequest(
-                kind=kind,
-                benchmark=bench,
-                dataset=dataset,
-                submit_time=t,
-                num_reducers=reducers,
-            )
-        )
+
+def flash_crowd_mix(
+    kind: str,
+    count: int,
+    rng: np.random.Generator,
+    *,
+    at_s: float = 300.0,
+    spread_s: float = 60.0,
+    background: int = 0,
+    background_interarrival_s: float = 120.0,
+    benchmarks: Optional[Sequence[str]] = None,
+    small_fraction: float = 0.9,
+    start_time: float = 0.0,
+    max_tasks: int = 50,
+) -> WorkloadMix:
+    """A flash crowd: ``count`` jobs slam in within ``spread_s`` seconds
+    of ``at_s``, optionally over a thin Poisson background trickle.
+
+    Models the front-page/breaking-news spike the ROADMAP's
+    millions-of-users scenarios need — the scheduler sees a queue
+    building far faster than it drains.
+    """
+    if count < 0 or background < 0:
+        raise ValueError("counts must be non-negative")
+    if spread_s < 0 or at_s < 0:
+        raise ValueError("at_s and spread_s must be non-negative")
+    if background_interarrival_s <= 0:
+        raise ValueError("background_interarrival_s must be positive")
+    names = _validated_names(kind, benchmarks)
+    jobs: List[JobRequest] = []
+    t = start_time
+    for _ in range(background):
+        t += float(rng.exponential(background_interarrival_s))
+        jobs.append(_draw_job(kind, names, rng, t, small_fraction,
+                              max_tasks=max_tasks))
+    offsets = np.sort(rng.uniform(0.0, max(spread_s, 1e-9), size=count))
+    for off in offsets:
+        jobs.append(_draw_job(kind, names, rng, at_s + float(off),
+                              small_fraction, max_tasks=max_tasks))
+    jobs.sort(key=lambda j: j.submit_time)
     return WorkloadMix(jobs=jobs)

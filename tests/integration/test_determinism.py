@@ -72,3 +72,21 @@ def test_monitor_bounded_memory_over_long_run():
     for hist in nm.monitor.history.values():
         for ts in hist.values():
             assert len(ts) <= ts.capacity
+
+
+# ------------------------------------------------------------------ corpus
+
+def test_scenario_quick_subset_serial_equals_parallel():
+    """The quick-tagged scenario corpus subset is byte-identical run
+    serially and through the process pool at equal seeds — the scored
+    matrix must not depend on scheduling or worker count."""
+    import json
+
+    from repro.scenarios import filter_scenarios, load_corpus, run_corpus
+
+    specs = filter_scenarios(load_corpus(), ["tag:quick"])
+    assert len(specs) >= 3  # the corpus keeps a meaningful quick subset
+    serial = run_corpus(specs, workers=0)
+    parallel = run_corpus(specs, workers=4)
+    assert json.dumps(serial.to_jsonable(timing=False), sort_keys=True) \
+        == json.dumps(parallel.to_jsonable(timing=False), sort_keys=True)

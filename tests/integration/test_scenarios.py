@@ -1,0 +1,88 @@
+"""Scenario-corpus acceptance runs (the ``scenarios`` CI job).
+
+Marked ``scenarios`` and excluded from tier-1 by the default addopts,
+like the chaos suite: these run every committed scenario end-to-end.
+"""
+
+import json
+
+import pytest
+
+from repro.scenarios import (
+    filter_scenarios, load_corpus, run_corpus, scenario_hash,
+)
+
+pytestmark = pytest.mark.scenarios
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()
+
+
+@pytest.fixture(scope="module")
+def matrix(corpus, tmp_path_factory):
+    cache = tmp_path_factory.mktemp("scenario-cache")
+    return run_corpus(corpus, workers=4, cache_dir=str(cache)), cache
+
+
+def test_corpus_is_substantial(corpus):
+    assert len(corpus) >= 12
+    tags = [t for s in corpus for t in s.tags]
+    assert tags.count("network") >= 2
+    assert tags.count("chaos") >= 2
+
+
+def test_every_scenario_passes(matrix):
+    result, _ = matrix
+    failed = [
+        f"{r.name}: " + "; ".join(
+            f"{c.metric} {c.expected} got {c.observed} ({c.reason})"
+            for c in r.score.checks if not c.passed)
+        for r in result.records if not r.passed
+    ]
+    assert not failed, "\n".join(failed)
+    assert result.all_passed and result.total_score == 1.0
+
+
+def test_warm_cache_rerun_executes_nothing(corpus, matrix):
+    cold, cache = matrix
+    warm = run_corpus(corpus, workers=4, cache_dir=str(cache))
+    assert warm.executed == 0
+    assert warm.cached == cold.executed + cold.cached
+    # Re-scoring cached outcomes reproduces the scored matrix exactly
+    # (modulo the executed/cached accounting itself).
+    cold_doc, warm_doc = (r.to_jsonable(timing=False) for r in (cold, warm))
+    assert warm_doc["corpus_digest"] == cold_doc["corpus_digest"]
+    assert json.dumps(warm_doc["scenarios"], sort_keys=True) \
+        == json.dumps(cold_doc["scenarios"], sort_keys=True)
+
+
+def test_network_blindspot_scores_as_expected_negative(matrix):
+    """The paper's blind spot: the victim measurably degrades while
+    PerfCloud identifies nobody and throttles nothing — and that
+    *passes*, because the expectations encode the limitation."""
+    result, _ = matrix
+    record = next(r for r in result.records if r.name == "net-blindspot-iperf")
+    assert record.passed
+    m = record.metrics
+    assert m["victim_slowdown"] > 1.10
+    assert m["identified"] == ()
+    assert m["throttle_actions"] == 0
+
+
+def test_matrix_carries_seeds_hashes_and_digest(corpus, matrix):
+    result, _ = matrix
+    assert result.corpus_digest
+    by_name = {s.name: s for s in corpus}
+    for record in result.records:
+        spec = by_name[record.name]
+        assert record.seed == spec.world.seed
+        assert record.hash == scenario_hash(spec)
+
+
+def test_filtering_selects_coherent_subsets(corpus):
+    network = filter_scenarios(corpus, ["tag:network"])
+    assert network and all(s.has_tag("network") for s in network)
+    by_name = filter_scenarios(corpus, ["blindspot"])
+    assert by_name and all("blindspot" in s.name for s in by_name)

@@ -1,0 +1,160 @@
+"""Property tests: the scenario DSL round-trips and hashes stably.
+
+For any valid document the loader accepts:
+
+* ``parse(serialize(parse(x))) == parse(x)`` — serialization emits a
+  fixed point of parsing (the normal form);
+* the content hash of the reparsed spec is identical;
+* the hash is a pure function of the normal form, so two documents with
+  the same semantics always collide and any semantic edit never does.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.scenarios import parse_scenario, scenario_hash, serialize_scenario
+from repro.scenarios.loader import corpus_digest
+
+
+slugs = st.from_regex(r"[a-z0-9][a-z0-9._-]{0,30}", fullmatch=True)
+
+mr_benchmarks = st.sampled_from(
+    ["grep", "terasort", "wordcount", "self-join", "inverted-index"])
+spark_benchmarks = st.sampled_from(
+    ["page-rank", "kmeans", "connected-components", "logistic-regression"])
+
+sizes = st.floats(min_value=32.0, max_value=4096.0,
+                  allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def jobs(draw):
+    kind = draw(st.sampled_from(["mapreduce", "spark"]))
+    job = {
+        "kind": kind,
+        "benchmark": draw(mr_benchmarks if kind == "mapreduce"
+                          else spark_benchmarks),
+        "size_mb": draw(sizes),
+        "submit_at": draw(st.floats(min_value=0.0, max_value=1000.0,
+                                    allow_nan=False)),
+        "victim": draw(st.booleans()),
+    }
+    if kind == "mapreduce" and draw(st.booleans()):
+        job["reducers"] = draw(st.integers(min_value=1, max_value=32))
+    if kind == "spark" and draw(st.booleans()):
+        job["shuffle_ratio"] = draw(st.floats(min_value=0.0, max_value=4.0,
+                                              allow_nan=False))
+        job["iterations"] = draw(st.integers(min_value=1, max_value=8))
+    return job
+
+
+@st.composite
+def antagonists(draw, num_hosts):
+    kind = draw(st.sampled_from(
+        ["fio", "fio-adaptive", "fio-episodic", "stream", "sysbench-cpu",
+         "oltp", "iperf-pair"]))
+    ant = {
+        "kind": kind,
+        "host": draw(st.integers(min_value=0, max_value=num_hosts - 1)),
+        "start_s": draw(st.floats(min_value=0.0, max_value=500.0,
+                                  allow_nan=False)),
+        "guilty": draw(st.booleans()),
+    }
+    if kind == "iperf-pair":
+        ant["peer_host"] = draw(
+            st.integers(min_value=0, max_value=num_hosts - 1))
+        if draw(st.booleans()):
+            ant["params"] = {
+                "rate_gbps": draw(st.floats(min_value=0.1, max_value=2.0,
+                                            allow_nan=False)),
+                "streams": draw(st.integers(min_value=1, max_value=128)),
+            }
+    return ant
+
+
+@st.composite
+def expectations(draw):
+    form = draw(st.sampled_from(["compact", "numeric", "set", "empty",
+                                 "approx"]))
+    metric = draw(st.sampled_from(
+        ["victim_jct", "mean_jct", "jobs_completed", "throttle_actions",
+         "victim_slowdown", "identified", "false_positives"]))
+    if form == "compact":
+        op = draw(st.sampled_from(["<", "<=", ">", ">=", "==", "!="]))
+        value = draw(st.integers(min_value=0, max_value=100))
+        return f"{metric} {op} {value}"
+    if form == "numeric":
+        return {"metric": metric,
+                "op": draw(st.sampled_from(["<", "<=", ">", ">="])),
+                "value": draw(st.floats(min_value=0.0, max_value=1e4,
+                                        allow_nan=False))}
+    if form == "set":
+        return {"metric": metric,
+                "op": draw(st.sampled_from(
+                    ["set_eq", "contains", "not_contains"])),
+                "value": draw(st.lists(slugs, min_size=1, max_size=3))}
+    if form == "approx":
+        return {"metric": metric, "op": "approx",
+                "value": draw(st.floats(min_value=0.0, max_value=1e3,
+                                        allow_nan=False)),
+                "tol": draw(st.floats(min_value=0.001, max_value=100.0,
+                                      allow_nan=False))}
+    return {"metric": metric,
+            "op": draw(st.sampled_from(["is_empty", "not_empty"]))}
+
+
+@st.composite
+def scenarios(draw):
+    num_hosts = draw(st.integers(min_value=1, max_value=4))
+    doc = {
+        "name": draw(slugs),
+        "tags": draw(st.lists(slugs, max_size=3, unique=True)),
+        "world": {
+            "seed": draw(st.integers(min_value=0, max_value=2**31)),
+            "horizon": draw(st.floats(min_value=100.0, max_value=1e4,
+                                      allow_nan=False)),
+            "topology": {"count": num_hosts},
+            "workload": {
+                "framework": "both",
+                "workers": draw(st.integers(min_value=1, max_value=12)),
+                "jobs": draw(st.lists(jobs(), min_size=1, max_size=4)),
+            },
+            "antagonists": draw(
+                st.lists(antagonists(num_hosts), max_size=3)),
+            "policy": {"kind": draw(st.sampled_from(["perfcloud", "none"]))},
+        },
+        "expect": draw(st.lists(expectations(), min_size=1, max_size=5)),
+    }
+    return doc
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios())
+def test_parse_serialize_parse_is_identity(doc):
+    spec = parse_scenario(doc)
+    text = serialize_scenario(spec)
+    again = parse_scenario(text)
+    assert again == spec
+    # ...and once more: serialization is a fixed point, not a cycle.
+    assert parse_scenario(serialize_scenario(again)) == spec
+
+
+@settings(max_examples=60, deadline=None)
+@given(scenarios())
+def test_hash_survives_the_roundtrip(doc):
+    spec = parse_scenario(doc)
+    assert scenario_hash(parse_scenario(serialize_scenario(spec))) \
+        == scenario_hash(spec)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(scenarios(), min_size=1, max_size=4))
+def test_corpus_digest_invariant_under_reserialization(docs):
+    specs = []
+    seen = set()
+    for doc in docs:
+        if doc["name"] in seen:
+            continue
+        seen.add(doc["name"])
+        specs.append(parse_scenario(doc))
+    reparsed = [parse_scenario(serialize_scenario(s)) for s in specs]
+    assert corpus_digest(reparsed) == corpus_digest(specs)

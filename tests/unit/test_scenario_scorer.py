@@ -1,0 +1,160 @@
+"""Assertion semantics of the scenario scorer.
+
+Every comparator the DSL exposes, plus the two rules that keep scored
+corpora honest: a missing metric fails its expectation, and a NaN
+observation fails a numeric comparison — neither ever silently passes.
+"""
+
+import pytest
+
+from repro.scenarios.scorer import evaluate_expectation, score_scenario
+from repro.scenarios.spec import Expectation
+
+
+def exp(metric, op, value=None, tol=None):
+    return Expectation(metric=metric, op=op, value=value, tol=tol)
+
+
+def check(metric, op, value, metrics, tol=None):
+    return evaluate_expectation(exp(metric, op, value, tol), metrics)
+
+
+# ------------------------------------------------------------ numeric ops
+
+@pytest.mark.parametrize("op,value,obs,passed", [
+    ("<", 1.3, 1.2, True),
+    ("<", 1.3, 1.3, False),
+    ("<=", 1.3, 1.3, True),
+    (">", 0, 1, True),
+    (">", 0, 0, False),
+    (">=", 2, 2, True),
+    (">=", 2, 1.99, False),
+])
+def test_numeric_comparators(op, value, obs, passed):
+    assert check("m", op, value, {"m": obs}).passed is passed
+
+
+def test_numeric_comparator_rejects_non_numeric():
+    result = check("m", "<", 1.0, {"m": "fast"})
+    assert not result.passed
+    assert "not numeric" in result.reason
+
+
+def test_bools_count_as_numbers():
+    assert check("m", ">=", 1, {"m": True}).passed
+    assert not check("m", ">=", 1, {"m": False}).passed
+
+
+# ----------------------------------------------------------- approx bands
+
+def test_approx_within_and_outside_tolerance():
+    assert check("m", "approx", 100.0, {"m": 102.0}, tol=5.0).passed
+    assert check("m", "approx", 100.0, {"m": 105.0}, tol=5.0).passed
+    assert not check("m", "approx", 100.0, {"m": 105.01}, tol=5.0).passed
+    assert not check("m", "approx", 100.0, {"m": 94.0}, tol=5.0).passed
+
+
+# ------------------------------------------------------------- set algebra
+
+def test_set_eq_is_order_insensitive():
+    metrics = {"identified": ("iperf-b", "iperf-a")}
+    assert check("identified", "set_eq", ("iperf-a", "iperf-b"), metrics).passed
+    assert not check("identified", "set_eq", ("iperf-a",), metrics).passed
+
+
+def test_eq_on_list_value_compares_as_sets():
+    assert check("vms", "==", ("b", "a"), {"vms": ("a", "b")}).passed
+    assert check("vms", "!=", ("a",), {"vms": ("a", "b")}).passed
+    assert not check("vms", "!=", ("a", "b"), {"vms": ("b", "a")}).passed
+
+
+def test_contains_and_not_contains():
+    metrics = {"identified": ("fio", "stream")}
+    assert check("identified", "contains", ("fio",), metrics).passed
+    assert not check("identified", "contains", ("fio", "oltp"), metrics).passed
+    assert check("identified", "not_contains", ("oltp",), metrics).passed
+    assert not check("identified", "not_contains", ("fio",), metrics).passed
+
+
+def test_emptiness():
+    assert check("identified", "is_empty", None, {"identified": ()}).passed
+    assert not check("identified", "is_empty", None, {"identified": ("x",)}).passed
+    assert check("identified", "not_empty", None, {"identified": ("x",)}).passed
+    assert not check("identified", "not_empty", None, {"identified": ()}).passed
+
+
+def test_set_ops_reject_scalars():
+    result = check("identified", "is_empty", None, {"identified": 3.0})
+    assert not result.passed
+    assert "not a collection" in result.reason
+
+
+# -------------------------------------------------------------- scalar eq
+
+def test_scalar_equality_is_numeric_aware():
+    assert check("n", "==", 0, {"n": 0.0}).passed
+    assert check("n", "==", 2, {"n": 2}).passed
+    assert not check("n", "==", 2, {"n": 3}).passed
+    assert check("n", "!=", 2, {"n": 3}).passed
+    assert check("ok", "==", True, {"ok": True}).passed
+    assert not check("ok", "==", True, {"ok": False}).passed
+
+
+# -------------------------------------------- missing / NaN never pass
+
+@pytest.mark.parametrize("op,value", [
+    ("<", 1.0), ("==", 1.0), ("is_empty", None), ("set_eq", ("a",)),
+])
+def test_missing_metric_always_fails(op, value):
+    result = check("absent", op, value, {"other": 1.0})
+    assert not result.passed
+    assert "missing" in result.reason
+    assert result.observed == "<missing>"
+
+
+@pytest.mark.parametrize("op,value", [("<", 900.0), (">", 0.0), ("==", 1.0)])
+def test_nan_observation_always_fails(op, value):
+    result = check("victim_jct", op, value, {"victim_jct": float("nan")})
+    assert not result.passed
+    assert "NaN" in result.reason
+
+
+# ----------------------------------------------------------- scenario fold
+
+def _spec(expects):
+    doc = {
+        "name": "fold-test",
+        "world": {
+            "topology": {"count": 1},
+            "workload": {
+                "jobs": [{"kind": "mapreduce", "benchmark": "grep",
+                          "size_mb": 64}],
+            },
+        },
+        "expect": expects,
+    }
+    from repro.scenarios import parse_scenario
+    return parse_scenario(doc)
+
+
+def test_score_is_pass_fraction():
+    spec = _spec(["a > 1", "b > 1", "c > 1", "d > 1"])
+    score = score_scenario(spec, {"a": 2, "b": 0, "c": 2, "d": 0})
+    assert not score.passed
+    assert score.score == pytest.approx(0.5)
+    assert score.summary == "2/4"
+
+
+def test_all_checks_green_means_passed():
+    spec = _spec(["a > 1", "b == 0"])
+    score = score_scenario(spec, {"a": 2, "b": 0})
+    assert score.passed and score.score == 1.0
+
+
+def test_runner_error_fails_every_check():
+    spec = _spec(["a > 1", "b == 0"])
+    score = score_scenario(spec, {"error": "KeyError: 'boom'"},
+                           error="KeyError: 'boom'")
+    assert not score.passed
+    assert score.score == 0.0
+    assert all("boom" in c.reason for c in score.checks)
