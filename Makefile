@@ -16,11 +16,15 @@ test:
 	$(PY) -m pytest -x -q
 
 # The chaos-marked acceptance tests plus one full `repro chaos` run
-# (fixed seed; exits non-zero unless the control plane survives).
+# (fixed seed; exits non-zero unless the control plane survives), then
+# the harness-level drill: supervised workers are killed, frozen and
+# stalled and cache entries corrupted — exit 0 requires the merged
+# results byte-identical to a clean serial run.
 # Kept out of `make test` — see docs/ROBUSTNESS.md.
 chaos:
 	$(PY) -m pytest -x -q -m chaos
 	$(PY) -m repro chaos
+	$(PY) -m repro chaos --harness
 
 # The scored acceptance corpus: every scenarios/*.yaml run through the
 # parallel engine with a warm result cache, plus the scenario-marked

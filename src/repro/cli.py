@@ -8,6 +8,7 @@
     python -m repro fig11 --full-scale   # paper-size dimensions (slow)
     python -m repro sweep --workers 4    # β/γ closed-loop sensitivity grid
     python -m repro chaos                # Fig. 9 under fault injection
+    python -m repro chaos --harness      # kill/freeze/corrupt the harness
     python -m repro bench --compare      # perf suite vs committed baseline
     python -m repro scenarios            # scored acceptance corpus
     python -m repro scenarios --quick    # the quick-tagged subset
@@ -156,7 +157,43 @@ def _run_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_harness_chaos(args: argparse.Namespace) -> int:
+    from repro.resilience.harness_chaos import (
+        default_harness_plan, run_harness_chaos,
+    )
+
+    plan = default_harness_plan(seed=args.seed)
+    result = run_harness_chaos(plan, workers=args.workers or 4)
+    print(f"== harness chaos (seed {args.seed}) ==")
+    print(f"tasks: {plan.n_tasks}  kills: {plan.kills}  "
+          f"freezes: {plan.sigstops}  stalls: {plan.stalls}  "
+          f"raises: {plan.raises_}  corrupted cache entries: {plan.corrupt}")
+    stats = result.chaos_report.supervisor
+    print(render_table(
+        ["supervision counter", "value"],
+        [[k, v] for k, v in stats.to_dict().items()],
+    ))
+    print(render_table(
+        ["task", "status"],
+        [[i, s] for i, s in sorted(result.statuses.items())],
+    ))
+    print(f"merged results byte-identical to clean serial run: "
+          f"{result.identical}")
+    print(f"cache-corruption recovery (recomputed exactly the corrupted "
+          f"tasks): {result.recovered_from_corruption}")
+    print(f"trace digest {result.digest}  elapsed {result.elapsed:.1f}s")
+    verdict = "SURVIVED" if result.survived else "DIED"
+    print(f"verdict: {verdict}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(result.summary(), fh, indent=2)
+        print(f"\nraw result written to {args.json}")
+    return 0 if result.survived else 1
+
+
 def _run_chaos(args: argparse.Namespace) -> int:
+    if args.harness:
+        return _run_harness_chaos(args)
     from repro.experiments.chaos import (
         ChaosScenario, default_fault_plan, run_chaos,
     )
@@ -224,9 +261,17 @@ def _run_scenarios(args: argparse.Namespace) -> int:
         print(render_table(["scenario", "tags", "seed", "hash", "checks"],
                            rows, title="scenario corpus"))
         return 0
+    if args.resume and not args.cache_dir:
+        print("error: --resume requires --cache-dir (finished tasks replay "
+              "from the result cache)", file=sys.stderr)
+        return 2
     result = run_corpus(specs, workers=args.workers, cache_dir=args.cache_dir,
-                        progress=ProgressReporter("scenarios"))
+                        progress=ProgressReporter("scenarios"),
+                        supervise=args.supervised, resume=args.resume)
     print(result.render())
+    if args.resume:
+        print(f"resume manifest {args.resume}: {result.resumed} tasks "
+              f"already complete at start")
     if args.json:
         with open(args.json, "w") as fh:
             json.dump(result.to_jsonable(), fh, indent=2)
@@ -243,14 +288,31 @@ def _add_parallel_args(p: argparse.ArgumentParser) -> None:
                         "already-computed points")
 
 
+def _add_resilience_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--supervised", action="store_true",
+                   help="run through the supervised pool (per-task "
+                        "timeouts, retries, worker respawn — see "
+                        "docs/ROBUSTNESS.md)")
+    p.add_argument("--resume", metavar="MANIFEST", default=None,
+                   help="record completed tasks in MANIFEST and, on "
+                        "re-invocation after a crash, re-execute zero "
+                        "finished tasks (requires --cache-dir)")
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.analytic:
         points = sweeps.analytic_sweep(betas=args.betas, gammas=args.gammas)
     else:
+        if args.resume and not args.cache_dir:
+            print("error: --resume requires --cache-dir (finished points "
+                  "replay from the result cache)", file=sys.stderr)
+            return 2
+        run_stats: dict = {}
         points = sweeps.closed_loop_sweep(
             betas=args.betas, gammas=args.gammas, seeds=args.seeds,
             size_mb=args.size_mb, workers=args.workers,
             cache_dir=args.cache_dir, progress=ProgressReporter("sweep"),
+            supervise=args.supervised, resume=args.resume, stats=run_stats,
         )
     headers = ["beta", "gamma", "K", "depth", "victim JCT", "ant ops/s"]
     rows = [
@@ -264,6 +326,12 @@ def _run_sweep(args: argparse.Namespace) -> int:
         with open(args.json, "w") as fh:
             json.dump([_to_jsonable(p) for p in points], fh, indent=2)
         print(f"\nraw result written to {args.json}")
+    salvaged = 0 if args.analytic else run_stats.get("salvaged", 0)
+    if salvaged:
+        print(f"error: {salvaged} sweep point(s) salvaged — every "
+              "supervised attempt failed; affected grid cells show NaN",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -295,11 +363,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--json", metavar="PATH", default=None,
                        help="dump the raw sweep points as JSON")
     _add_parallel_args(sweep)
+    _add_resilience_args(sweep)
     chaos = sub.add_parser(
         "chaos",
         help="Fig. 9 mitigation scenario under fault injection "
              "(exit 0 = survived)",
     )
+    chaos.add_argument("--harness", action="store_true",
+                       help="attack the harness instead of the simulated "
+                            "control plane: worker kills/freezes/stalls + "
+                            "cache corruption under the supervised pool "
+                            "(exit 0 = merged results byte-identical to a "
+                            "clean serial run)")
+    chaos.add_argument("--workers", type=int, default=4, metavar="N",
+                       help="supervised pool size for --harness (default 4)")
     chaos.add_argument("--seed", type=int, default=3)
     chaos.add_argument("--size-mb", type=float, default=640.0,
                        help="terasort input size")
@@ -342,6 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
     scenarios.add_argument("--json", metavar="PATH", default=None,
                            help="write the scored matrix as JSON")
     _add_parallel_args(scenarios)
+    _add_resilience_args(scenarios)
     bench = sub.add_parser(
         "bench",
         help="hot-path benchmark suite + performance-regression gate "

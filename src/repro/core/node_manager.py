@@ -38,6 +38,15 @@ from repro.core.detector import InterferenceDetector
 from repro.core.identification import AntagonistIdentifier
 from repro.core.monitor import PerformanceMonitor, VmSample
 from repro.metrics.timeseries import TimeSeries
+from repro.resilience.breaker import GuardedConnection
+from repro.resilience.ladder import (
+    FULL,
+    MONITOR,
+    STATIC_CAP,
+    DegradationLadder,
+    ResiliencePolicy,
+    ResilienceStats,
+)
 from repro.sim.engine import Simulator
 from repro.virt.libvirt_api import VCPU_PERIOD_US, Connection, Domain, LibvirtError
 
@@ -62,6 +71,14 @@ class ControlPlaneStats:
     caps_reconciled: int = 0
     #: Controller states retired because their VM left the host.
     caps_retired: int = 0
+    #: Static fallback caps asserted while degraded (ladder only).
+    static_caps_applied: int = 0
+    #: Static fallback caps cleared (contention gone or mode recovered).
+    static_caps_released: int = 0
+    #: Intervals spent on the monitoring-only rung.
+    monitor_intervals: int = 0
+    #: CUBIC controller states abandoned on degradation.
+    cubic_states_dropped: int = 0
 
 
 class NodeManager:
@@ -78,6 +95,7 @@ class NodeManager:
         controller=None,
         fault_injector=None,
         scheduler=None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.sim = sim
         self.host_name = host_name
@@ -86,6 +104,20 @@ class NodeManager:
         self.conn: Connection = cloud.connection(host_name)
         if fault_injector is not None:
             self.conn = fault_injector.wrap(self.conn)
+        #: Optional degradation ladder; its circuit breaker wraps the
+        #: facade *outside* the fault injector — the injector models the
+        #: world misbehaving, the breaker is this agent's reaction to it.
+        self.resilience_policy = resilience
+        self.ladder: Optional[DegradationLadder] = None
+        if resilience is not None:
+            self.ladder = DegradationLadder(host_name, resilience)
+            self.conn = GuardedConnection(
+                self.conn, self.ladder.breaker, lambda: self.sim.now
+            )
+        self._mode = FULL
+        #: Static fallback caps by (vm_name, resource): absolute cap, or
+        #: ``None`` once marked for release (cleared by reconciliation).
+        self.static_caps: Dict[Tuple[str, str], Optional[float]] = {}
         self.monitor = PerformanceMonitor(self.conn, self.config)
         self.detector = InterferenceDetector(self.config)
         self.identifier = AntagonistIdentifier(self.config)
@@ -151,12 +183,18 @@ class NodeManager:
 
     def _run_interval(self) -> None:
         now = self.sim.now
+        mode = self._update_mode(now)
         instances = self.cloud.instances_on_host(self.host_name)
         high = [i for i in instances if i.is_high_priority and i.app_id]
         low = [i for i in instances if not i.is_high_priority]
 
         samples = self.monitor.sample(now)
         self._retire_departed({i.name for i in instances})
+        if mode == MONITOR:
+            # Lowest rung: keep observing (best-effort — the breaker may
+            # refuse even sampling), take no control action at all.
+            self.stats.monitor_intervals += 1
+            return
 
         app_members: Dict[str, List[str]] = {}
         for info in high:
@@ -166,7 +204,7 @@ class NodeManager:
                 self.host_name, sorted(app_members), now
             )
         if not app_members:
-            self._finish_interval(now)
+            self._finish_interval(now, mode)
             return
 
         detections = self.detector.evaluate(
@@ -175,7 +213,7 @@ class NodeManager:
         if not low:
             # Nothing to identify or throttle; detection history still
             # accumulates (the paper's "running alone" baselines).
-            self._finish_interval(now)
+            self._finish_interval(now, mode)
             return
 
         io_contention = any(d.io_contention for d in detections.values())
@@ -199,12 +237,31 @@ class NodeManager:
             io_antagonists |= io_res.antagonists
             cpu_antagonists |= cpu_res.antagonists
 
-        self._control("io", io_antagonists, io_contention, samples, now)
-        self._control("cpu", cpu_antagonists, cpu_contention, samples, now)
-        self._finish_interval(now)
+        if mode == STATIC_CAP:
+            # Degraded rung: detection and identification still run, but
+            # antagonists get the paper's static fallback cap instead of
+            # a CUBIC trajectory (nothing to mis-evolve while actuations
+            # are unreliable).
+            self._static_control("io", io_antagonists, io_contention,
+                                 samples, now)
+            self._static_control("cpu", cpu_antagonists, cpu_contention,
+                                 samples, now)
+        else:
+            self._control("io", io_antagonists, io_contention, samples, now)
+            self._control("cpu", cpu_antagonists, cpu_contention, samples, now)
+        self._finish_interval(now, mode)
 
-    def _finish_interval(self, now: float) -> None:
+    def _finish_interval(self, now: float, mode: str = FULL) -> None:
+        if mode == STATIC_CAP:
+            self._reconcile_static(now)
+            return
         self._reconcile_caps(now)
+        if self.static_caps:
+            # Leftovers from a degraded episode: clear them now that the
+            # channel is healthy again.
+            for key in self.static_caps:
+                self.static_caps[key] = None
+            self._reconcile_static(now)
         self._record_cap_history(now)
 
     def survival_summary(self) -> Dict[str, int]:
@@ -224,6 +281,97 @@ class NodeManager:
             "caps_reconciled": self.stats.caps_reconciled,
             "caps_retired": self.stats.caps_retired,
         }
+
+    def resilience_summary(self) -> Optional[ResilienceStats]:
+        """Ladder + breaker posture, or ``None`` when resilience is off."""
+        if self.ladder is None:
+            return None
+        active = sum(1 for cap in self.static_caps.values() if cap is not None)
+        return self.ladder.stats(static_caps_active=active)
+
+    # --------------------------------------------------------------- ladder
+    def _update_mode(self, now: float) -> str:
+        if self.ladder is None:
+            return FULL
+        mode = self.ladder.update(now)
+        if mode != self._mode:
+            self._on_mode_change(self._mode, mode, now)
+            self._mode = mode
+        return mode
+
+    def _on_mode_change(self, old: str, new: str, now: float) -> None:
+        if old == FULL:
+            # Degrading: abandon CUBIC state (its trajectory is
+            # meaningless against unreliable actuation) but inherit the
+            # currently-applied caps as the static posture, so already-
+            # throttled antagonists stay throttled.
+            for (vm, resource), state in self.cap_states.items():
+                if not state.released:
+                    self.static_caps.setdefault(
+                        (vm, resource), state.absolute_cap
+                    )
+            self.stats.cubic_states_dropped += len(self.cap_states)
+            self.cap_states.clear()
+        if new == FULL:
+            # Recovered: mark every static cap for release; the healthy
+            # channel clears them in this interval's reconciliation and
+            # CUBIC restarts fresh episodes where contention persists.
+            for key in self.static_caps:
+                self.static_caps[key] = None
+
+    def _static_control(
+        self,
+        resource: str,
+        antagonists: Set[str],
+        contention: bool,
+        samples: Dict[str, VmSample],
+        now: float,
+    ) -> None:
+        """Static fallback: one-shot cap at ``static_cap_fraction`` of usage."""
+        fraction = self.resilience_policy.static_cap_fraction
+        if not contention:
+            for key, cap in self.static_caps.items():
+                if key[1] == resource and cap is not None:
+                    self.static_caps[key] = None  # release via reconcile
+            return
+        for vm_name in sorted(antagonists):
+            key = (vm_name, resource)
+            if self.static_caps.get(key) is not None:
+                continue
+            usage = self._observed_usage(vm_name, resource, samples)
+            if usage is None or usage <= 0:
+                continue
+            cap = usage * fraction
+            self.static_caps[key] = cap
+            self.stats.static_caps_applied += 1
+            try:
+                dom = self.conn.lookupByName(vm_name)
+                self._apply_cap(dom, resource, cap)
+            except LibvirtError:
+                continue  # reconciliation retries next interval
+            self.actions.append((now, vm_name, resource, fraction))
+
+    def _reconcile_static(self, now: float) -> None:
+        """Converge applied caps onto the static posture, best-effort.
+
+        Entries marked ``None`` are pending release and are dropped once
+        the clear actually lands — never before, so a cap can't be
+        orphaned on a VM by a failed release.
+        """
+        for key, cap in list(self.static_caps.items()):
+            vm_name, resource = key
+            try:
+                dom = self.conn.lookupByName(vm_name)
+                if cap is None:
+                    self._apply_cap(dom, resource, None)
+                    del self.static_caps[key]
+                    self.stats.static_caps_released += 1
+                    self.actions.append((now, vm_name, resource, None))
+                elif not self._cap_matches(dom, resource, cap):
+                    self._apply_cap(dom, resource, cap)
+                    self.stats.caps_reconciled += 1
+            except LibvirtError:
+                continue  # channel still degraded; keep the entry
 
     # ------------------------------------------------------------- internals
     def _suspect_series(self, low, metric: str) -> Dict[str, TimeSeries]:
@@ -402,6 +550,9 @@ class NodeManager:
         """Drop controller state for VMs no longer on this host."""
         for key in [k for k in self.cap_states if k[0] not in present]:
             del self.cap_states[key]
+            self.stats.caps_retired += 1
+        for key in [k for k in self.static_caps if k[0] not in present]:
+            del self.static_caps[key]
             self.stats.caps_retired += 1
 
     def _record_cap_history(self, now: float) -> None:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional
 from repro.core.config import PerfCloudConfig
 from repro.core.node_manager import NodeManager
 from repro.core.shards import ShardedControlPlane
+from repro.resilience.ladder import ResiliencePolicy, ResilienceStats
 from repro.sim.engine import Simulator
 
 __all__ = ["PerfCloud"]
@@ -36,6 +37,7 @@ class PerfCloud:
         autostart: bool = True,
         controller_factory=None,
         fault_injector=None,
+        resilience: Optional[ResiliencePolicy] = None,
     ) -> None:
         self.sim = sim
         self.cloud = cloud
@@ -44,6 +46,9 @@ class PerfCloud:
         #: Optional :class:`~repro.faults.injector.FaultInjector` standing
         #: between every agent and its libvirt facade (chaos testing).
         self.fault_injector = fault_injector
+        #: Optional :class:`~repro.resilience.ladder.ResiliencePolicy`
+        #: giving every agent a circuit breaker + degradation ladder.
+        self.resilience = resilience
         #: One coordinator tick steps every agent as an independent shard
         #: (creation order), replacing per-host periodic events.
         self.control_plane = ShardedControlPlane(sim, self.config.interval_s)
@@ -54,6 +59,7 @@ class PerfCloud:
                 controller=controller_factory() if controller_factory else None,
                 fault_injector=fault_injector,
                 scheduler=self.control_plane,
+                resilience=resilience,
             )
 
     def add_host(self, host_name: str) -> NodeManager:
@@ -69,6 +75,7 @@ class PerfCloud:
             self.sim, host_name, self.cloud, self.config,
             controller=self.controller_factory() if self.controller_factory else None,
             fault_injector=self.fault_injector,
+            resilience=self.resilience,
         )
         self.node_managers[host_name] = nm
         return nm
@@ -93,6 +100,15 @@ class PerfCloud:
             for key, value in self.node_managers[host].survival_summary().items():
                 total[key] = total.get(key, 0) + value
         return total
+
+    def resilience_summary(self) -> Dict[str, ResilienceStats]:
+        """Per-host ladder + breaker posture (empty when resilience is off)."""
+        out: Dict[str, ResilienceStats] = {}
+        for host in sorted(self.node_managers):
+            stats = self.node_managers[host].resilience_summary()
+            if stats is not None:
+                out[host] = stats
+        return out
 
     def all_agents_alive(self) -> bool:
         """Whether every agent's control loop is still running."""

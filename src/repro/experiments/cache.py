@@ -188,13 +188,25 @@ class ResultCache:
         return True, value
 
     def put(self, key: str, value: Any) -> None:
-        """Store ``value`` under ``key`` atomically."""
+        """Store ``value`` under ``key`` atomically.
+
+        Safe against concurrent cross-process writers of the *same* key:
+        each writer gets a unique :func:`tempfile.mkstemp` name in the
+        entry's own directory (so the final ``os.replace`` is a same-
+        filesystem atomic rename), writes its complete payload there,
+        and renames over the destination.  Readers therefore only ever
+        observe either no entry or one writer's complete payload — the
+        losing writer's entry is simply replaced wholesale.
+        """
         path = self.path_for(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}-", suffix=".tmp"
+        )
         try:
             with os.fdopen(fd, "wb") as fh:
                 pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.flush()
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -202,6 +214,19 @@ class ResultCache:
             except OSError:
                 pass
             raise
+
+    def corrupt(self, key: str, *, payload: bytes = b"\x00torn write") -> bool:
+        """Overwrite ``key``'s entry with garbage (fault injection only).
+
+        Models a torn write / bad sector so chaos tests can assert that
+        :meth:`get` treats the entry as a miss and the task is cleanly
+        recomputed.  Returns whether an entry existed to corrupt.
+        """
+        path = self.path_for(key)
+        if not path.exists():
+            return False
+        path.write_bytes(payload)
+        return True
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
@@ -212,12 +237,21 @@ class ResultCache:
             yield path.stem
 
     def clear(self) -> int:
-        """Delete all entries; returns how many were removed."""
+        """Delete all entries; returns how many were removed.
+
+        Also sweeps temp files orphaned by writers that died mid-``put``
+        (a killed worker can leave its mkstemp file behind).
+        """
         removed = 0
         for path in list(self.root.glob("??/*.pkl")):
             try:
                 path.unlink()
                 removed += 1
+            except OSError:
+                pass
+        for path in list(self.root.glob("??/.*.tmp")):
+            try:
+                path.unlink()
             except OSError:
                 pass
         return removed

@@ -113,13 +113,16 @@ class Testbed:
         *,
         controller_factory=None,
         fault_injector=None,
+        resilience=None,
     ) -> PerfCloud:
         """Deploy one node-manager agent per host (optionally with an
-        alternative cap-control law for ablations, and/or a fault
-        injector between the agents and their libvirt facades)."""
+        alternative cap-control law for ablations, a fault injector
+        between the agents and their libvirt facades, and/or a
+        resilience policy giving each agent a circuit breaker and
+        degradation ladder)."""
         self.perfcloud = PerfCloud(
             self.sim, self.cloud, config, controller_factory=controller_factory,
-            fault_injector=fault_injector,
+            fault_injector=fault_injector, resilience=resilience,
         )
         return self.perfcloud
 

@@ -13,23 +13,40 @@ Three properties make it safe to drop under any existing serial loop:
   stack traces and module-level counters keep working.
 * **Crash surfacing** — an exception inside a worker (including a hard
   pool breakage) is re-raised in the parent as :class:`WorkerError`
-  carrying the task index and description, never swallowed.
+  carrying the task index, description and the **formatted child
+  traceback**, never swallowed.
 
 Tasks and the runner must be picklable when ``workers > 0``; frozen
 dataclasses defined at module scope plus a module-level runner function
 are the intended shape.
+
+For execution that must *survive* wedged, killed or crashing workers —
+per-task timeouts, heartbeats, retries, speculative re-dispatch and
+partial-result salvage — see
+:func:`repro.resilience.supervisor.run_many_supervised`, which returns
+the same :class:`RunReport` with its per-task :class:`TaskOutcome`
+records filled in.
 """
 
 from __future__ import annotations
 
+import pickle
 import time
+import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Sequence
 
 from repro.experiments.cache import ResultCache, task_key
 
-__all__ = ["Progress", "RunReport", "WorkerError", "run_many", "run_many_report"]
+__all__ = [
+    "Progress",
+    "RunReport",
+    "TaskOutcome",
+    "WorkerError",
+    "run_many",
+    "run_many_report",
+]
 
 _MISSING = object()
 
@@ -50,6 +67,45 @@ class Progress:
     elapsed: float
 
 
+@dataclass(frozen=True)
+class TaskOutcome:
+    """How one task of a run resolved.
+
+    ``status`` is one of:
+
+    ``"cached"``
+        Served from the result cache without executing.
+    ``"ok"``
+        Executed successfully on the first attempt.
+    ``"retried"``
+        Executed successfully, but only after at least one failed
+        attempt (supervised runs only).
+    ``"timed_out"``
+        Every attempt exceeded its wall-clock deadline (or its worker
+        wedged); no result (supervised, salvaging runs only).
+    ``"failed"``
+        Every attempt raised (or its worker died); no result
+        (supervised, salvaging runs only).
+    """
+
+    index: int
+    status: str
+    #: Attempts dispatched (0 for a cache hit; >1 means retries and/or
+    #: speculative duplicates).
+    attempts: int = 1
+    #: Wall-clock seconds from first dispatch to resolution.
+    elapsed: float = 0.0
+    #: Formatted traceback / reason of the *last* failed attempt.
+    error: Optional[str] = None
+    #: A speculative duplicate was dispatched for this task (straggler).
+    speculated: bool = False
+
+    @property
+    def ok(self) -> bool:
+        """Whether this task produced a result."""
+        return self.status in ("cached", "ok", "retried")
+
+
 @dataclass
 class RunReport:
     """Results plus execution accounting from :func:`run_many_report`."""
@@ -58,6 +114,20 @@ class RunReport:
     executed: int
     cached: int
     elapsed: float
+    #: Per-task resolution records, in submission order.
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    #: Supervision statistics (populated by supervised runs only).
+    supervisor: Optional[Any] = None
+
+    @property
+    def ok(self) -> bool:
+        """Every task produced a result (no salvaged holes)."""
+        return all(o.ok for o in self.outcomes) if self.outcomes else True
+
+    @property
+    def salvaged(self) -> int:
+        """Tasks that resolved without a result (``None`` placeholder)."""
+        return sum(1 for o in self.outcomes if not o.ok)
 
 
 class WorkerError(RuntimeError):
@@ -65,15 +135,49 @@ class WorkerError(RuntimeError):
 
     Carries ``index`` (position in the submitted task list) and ``task``
     so sweep failures name the exact grid point; the original exception
-    is chained as ``__cause__``.
+    is chained as ``__cause__`` and ``child_traceback`` holds the
+    formatted traceback text captured *inside* the worker process — the
+    parent-side stack of a pool future ends at the pickling boundary,
+    so without it a crash would only be debuggable by re-running
+    serially.
     """
 
-    def __init__(self, index: int, task: Any, cause: BaseException) -> None:
-        super().__init__(
+    def __init__(
+        self,
+        index: int,
+        task: Any,
+        cause: BaseException,
+        child_traceback: Optional[str] = None,
+    ) -> None:
+        message = (
             f"task {index} ({task!r}) failed: {type(cause).__name__}: {cause}"
         )
+        if child_traceback:
+            message += f"\n--- worker traceback ---\n{child_traceback.rstrip()}"
+        super().__init__(message)
         self.index = index
         self.task = task
+        self.child_traceback = child_traceback
+
+
+def _traced(runner: Callable[[Any], Any], task: Any):
+    """Run ``runner(task)`` in a worker, capturing the traceback text.
+
+    Returns ``("ok", value)`` or ``("err", traceback_text, exc)`` — the
+    exception travels back as a pickled *value* so the parent can chain
+    it, while the formatted traceback (which pickling would lose)
+    travels beside it as plain text.
+    """
+    try:
+        value = runner(task)
+    except Exception as exc:
+        text = traceback.format_exc()
+        try:
+            pickle.dumps(exc)
+        except Exception:
+            exc = RuntimeError(f"{type(exc).__name__}: {exc}")
+        return ("err", text, exc)
+    return ("ok", value)
 
 
 def run_many(
@@ -84,6 +188,7 @@ def run_many(
     cache: Optional[ResultCache] = None,
     key_fn: Optional[Callable[[Any], str]] = None,
     progress: Optional[Callable[[Progress], None]] = None,
+    checkpoint=None,
 ) -> List[Any]:
     """Run ``runner(task)`` for every task; results in submission order.
 
@@ -101,10 +206,14 @@ def run_many(
         task's fields plus the code version).
     progress:
         Called with a :class:`Progress` snapshot as tasks resolve.
+    checkpoint:
+        Optional :class:`repro.resilience.checkpoint.Checkpoint`; every
+        completed task's cache key is recorded so a killed run can be
+        resumed (requires ``cache`` so resumed tasks can replay).
     """
     return run_many_report(
         tasks, runner, workers=workers, cache=cache, key_fn=key_fn,
-        progress=progress,
+        progress=progress, checkpoint=checkpoint,
     ).results
 
 
@@ -116,12 +225,14 @@ def run_many_report(
     cache: Optional[ResultCache] = None,
     key_fn: Optional[Callable[[Any], str]] = None,
     progress: Optional[Callable[[Progress], None]] = None,
+    checkpoint=None,
 ) -> RunReport:
     """:func:`run_many` plus a :class:`RunReport` with run/hit counts."""
     tasks = list(tasks)
     total = len(tasks)
     start = time.perf_counter()
     results: List[Any] = [_MISSING] * total
+    outcomes: List[Optional[TaskOutcome]] = [None] * total
     keys: List[Optional[str]] = [None] * total
 
     cached = 0
@@ -132,7 +243,10 @@ def run_many_report(
             hit, value = cache.get(keys[i])
             if hit:
                 results[i] = value
+                outcomes[i] = TaskOutcome(index=i, status="cached", attempts=0)
                 cached += 1
+                if checkpoint is not None:
+                    checkpoint.record(keys[i])
 
     pending = [i for i in range(total) if results[i] is _MISSING]
     executed = 0
@@ -145,12 +259,23 @@ def run_many_report(
                 elapsed=time.perf_counter() - start,
             ))
 
+    def settle(i: int, value: Any, t0: float) -> None:
+        results[i] = value
+        outcomes[i] = TaskOutcome(
+            index=i, status="ok", elapsed=time.perf_counter() - t0,
+        )
+        if cache is not None:
+            cache.put(keys[i], value)
+        if checkpoint is not None:
+            checkpoint.record(keys[i])
+
     emit()
 
     if workers > 0 and pending:
         executed = len(pending)
+        t0 = time.perf_counter()
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(runner, tasks[i]) for i in pending]
+            futures = [pool.submit(_traced, runner, tasks[i]) for i in pending]
             # Drive progress by completion order, then merge by
             # submission order below — reporting is live, output is
             # deterministic.
@@ -161,26 +286,34 @@ def run_many_report(
                 emit()
             for i, future in zip(pending, futures):
                 try:
-                    value = future.result()
+                    envelope = future.result()
                 except Exception as exc:
+                    # The pool itself broke (worker killed, unpicklable
+                    # task, ...): no child traceback survives that.
                     raise WorkerError(i, tasks[i], exc) from exc
-                results[i] = value
-                if cache is not None:
-                    cache.put(keys[i], value)
+                if envelope[0] == "err":
+                    _, text, exc = envelope
+                    raise WorkerError(i, tasks[i], exc, text) from exc
+                settle(i, envelope[1], t0)
     else:
         for i in pending:
+            t0 = time.perf_counter()
             try:
                 value = runner(tasks[i])
             except Exception as exc:
-                raise WorkerError(i, tasks[i], exc) from exc
+                raise WorkerError(
+                    i, tasks[i], exc, traceback.format_exc()
+                ) from exc
             executed += 1
-            results[i] = value
-            if cache is not None:
-                cache.put(keys[i], value)
+            settle(i, value, t0)
             done += 1
             emit()
 
     return RunReport(
         results=results, executed=executed, cached=cached,
         elapsed=time.perf_counter() - start,
+        outcomes=[o for o in outcomes if o is not None]
+        if all(o is not None for o in outcomes) else
+        [o if o is not None else TaskOutcome(index=i, status="ok")
+         for i, o in enumerate(outcomes)],
     )

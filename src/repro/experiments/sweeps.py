@@ -21,7 +21,7 @@ from repro.core.config import PerfCloudConfig
 from repro.core.cubic import CubicController
 from repro.experiments.cache import ResultCache
 from repro.experiments.harness import TestbedConfig, build_testbed, run_until
-from repro.experiments.parallel import Progress, run_many
+from repro.experiments.parallel import Progress, run_many_report
 from repro.workloads.datagen import teragen
 from repro.workloads.puma import terasort
 
@@ -121,6 +121,9 @@ def closed_loop_sweep(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[Progress], None]] = None,
+    supervise: bool = False,
+    resume: Optional[str] = None,
+    stats: Optional[dict] = None,
 ) -> List[CubicSweepPoint]:
     """Victim JCT and antagonist throughput across the (β, γ) grid.
 
@@ -132,16 +135,50 @@ def closed_loop_sweep(
     N simulations concurrently (0 = in-process serial), ``cache_dir``
     memoizes per-point results on disk, and the merged output is
     identical to the serial path whatever the completion order.
+
+    ``supervise=True`` swaps in the supervised pool (timeouts, retries,
+    respawn — see :mod:`repro.resilience.supervisor`); ``resume`` names
+    a checkpoint-manifest path so a killed sweep re-invoked with the
+    same grid re-executes zero finished points (requires ``cache_dir``).
+    Passing a dict as ``stats`` fills it with run accounting
+    (``executed``/``cached``/``salvaged``) — a supervised run salvages
+    a point whose every attempt failed into NaN rather than aborting
+    the grid, and callers that must not silently accept holes (the CLI)
+    check ``stats["salvaged"]``.
     """
     tasks = [
         ClosedLoopTask(beta=beta, gamma=gamma, seed=seed, size_mb=size_mb)
         for beta in betas for gamma in gammas for seed in seeds
     ]
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    outcomes = run_many(
-        tasks, run_closed_loop_point, workers=workers, cache=cache,
-        progress=progress,
-    )
+    checkpoint = None
+    if resume is not None:
+        if cache is None:
+            raise ValueError("--resume requires a cache dir (results of "
+                             "finished points replay from the cache)")
+        from repro.experiments.cache import stable_hash
+        from repro.resilience.checkpoint import Checkpoint
+        checkpoint = Checkpoint(
+            resume, run_id=stable_hash({"sweep": tasks}), total=len(tasks),
+        )
+    if supervise:
+        from repro.resilience.supervisor import run_many_supervised_report
+        report = run_many_supervised_report(
+            tasks, run_closed_loop_point, workers=workers, cache=cache,
+            progress=progress, checkpoint=checkpoint,
+        )
+    else:
+        report = run_many_report(
+            tasks, run_closed_loop_point, workers=workers, cache=cache,
+            progress=progress, checkpoint=checkpoint,
+        )
+    outcomes = report.results
+    if stats is not None:
+        stats["executed"] = report.executed
+        stats["cached"] = report.cached
+        stats["salvaged"] = report.salvaged
+    if checkpoint is not None:
+        checkpoint.close()
 
     out = []
     per_point = iter(outcomes)
@@ -149,8 +186,11 @@ def closed_loop_sweep(
         for gamma in gammas:
             cfg = PerfCloudConfig(beta=beta, gamma=gamma)
             point = [next(per_point) for _ in seeds]
-            jcts = [jct for jct, _ in point]
-            ant_rates = [rate for _, rate in point]
+            # Supervised runs may salvage an unrunnable point as None;
+            # average over the seeds that did complete (NaN if none did).
+            valid = [p for p in point if p is not None]
+            jcts = [jct for jct, _ in valid] or [float("nan")]
+            ant_rates = [rate for _, rate in valid] or [float("nan")]
             controller = CubicController(cfg)
             out.append(
                 CubicSweepPoint(

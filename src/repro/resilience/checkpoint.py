@@ -1,0 +1,173 @@
+"""Append-only checkpoint manifest for resumable runs.
+
+A :class:`Checkpoint` pairs with a
+:class:`~repro.experiments.cache.ResultCache`: the cache holds the
+*values* of completed tasks (content-addressed, atomic), while the
+manifest holds the *set of completed task keys* for one logical run, so
+a killed sweep or corpus run re-invoked with ``--resume`` can prove
+which tasks finished without trusting anything half-written.
+
+The manifest is a JSONL file (modeled on the lostbench checkpoint
+pattern): a header line with run metadata, then one line per completed
+task, flushed as it happens.  Appending a line is the only write — no
+rewrite-in-place — so a crash can at worst leave one torn *trailing*
+line, which :func:`Checkpoint.load` silently drops.  Keys recorded
+before the crash are never lost.
+
+Resume contract: ``completed_keys()`` is a *claim* of completion, not a
+value store.  Callers must still route resumed tasks through the result
+cache; if the cached value was corrupted or evicted since, the task
+simply re-executes (correct, just slower).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Dict, Optional, Set
+
+__all__ = ["Checkpoint"]
+
+#: Bump when the manifest line format changes incompatibly.
+MANIFEST_FORMAT = 1
+
+
+class Checkpoint:
+    """Append-only manifest of completed task keys for one run.
+
+    Parameters
+    ----------
+    path:
+        Manifest file location.  Parent directories are created.
+    run_id:
+        Identity of the *logical* run (e.g. a corpus digest + config
+        hash).  On open, an existing manifest with a different
+        ``run_id`` is discarded — resuming a sweep with a different
+        grid, seed set or code version must start clean rather than
+        skip tasks from an unrelated run.
+    total:
+        Expected task count (informational; recorded in the header).
+    """
+
+    def __init__(self, path: os.PathLike | str, *, run_id: str,
+                 total: Optional[int] = None) -> None:
+        self.path = Path(path)
+        self.run_id = run_id
+        self.total = total
+        self._fh: Optional[IO[str]] = None
+        self._done: Set[str] = set()
+
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        existing = self.load(self.path)
+        if existing is not None and existing.get("run_id") == run_id:
+            self._done = set(existing["keys"])
+            self._fh = self.path.open("a", encoding="utf-8")
+            # A SIGKILL mid-append can leave a torn, newline-less tail;
+            # terminate it so the next record starts on its own line
+            # (the malformed fragment itself is skipped by load()).
+            with self.path.open("rb") as raw:
+                raw.seek(0, os.SEEK_END)
+                if raw.tell() > 0:
+                    raw.seek(-1, os.SEEK_END)
+                    if raw.read(1) != b"\n":
+                        self._fh.write("\n")
+                        self._fh.flush()
+        else:
+            # Fresh run (or stale manifest from a different run): truncate
+            # and write a new header.
+            self._fh = self.path.open("w", encoding="utf-8")
+            self._write({
+                "format": MANIFEST_FORMAT,
+                "run_id": run_id,
+                "total": total,
+            })
+
+    # ------------------------------------------------------------------
+    # Writing
+
+    def _write(self, record: Dict) -> None:
+        assert self._fh is not None
+        self._fh.write(json.dumps(record, sort_keys=True) + "\n")
+        # Flush every record: the whole point is surviving SIGKILL, and
+        # manifests are tiny relative to the simulations they describe.
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def record(self, key: str) -> None:
+        """Mark ``key`` complete (idempotent; duplicate keys coalesce)."""
+        if key in self._done:
+            return
+        self._done.add(key)
+        self._write({"done": key})
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "Checkpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Reading
+
+    @property
+    def done(self) -> Set[str]:
+        """Keys recorded complete so far (live view of this handle)."""
+        return set(self._done)
+
+    def completed(self, key: str) -> bool:
+        return key in self._done
+
+    def __len__(self) -> int:
+        return len(self._done)
+
+    @staticmethod
+    def load(path: os.PathLike | str) -> Optional[Dict]:
+        """Parse a manifest: ``{"run_id", "total", "keys"}`` or ``None``.
+
+        Returns ``None`` when the file is missing or its header is
+        unreadable.  A torn trailing line (the crash case this format
+        exists for) is dropped; torn lines elsewhere are skipped too —
+        under-counting completed work is safe, over-counting is not.
+        """
+        path = Path(path)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except (FileNotFoundError, OSError):
+            return None
+        lines = text.splitlines()
+        if not lines:
+            return None
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(header, dict) or "run_id" not in header:
+            return None
+        keys = []
+        for line in lines[1:]:
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(record, dict) and "done" in record:
+                keys.append(record["done"])
+        return {
+            "run_id": header["run_id"],
+            "total": header.get("total"),
+            "keys": keys,
+        }
+
+    @staticmethod
+    def clear(path: os.PathLike | str) -> bool:
+        """Delete a manifest (fresh-start escape hatch)."""
+        try:
+            Path(path).unlink()
+            return True
+        except (FileNotFoundError, OSError):
+            return False

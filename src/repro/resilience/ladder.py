@@ -1,0 +1,169 @@
+"""Control-plane degradation ladder: full control → static cap → monitor.
+
+PerfCloud's closed loop assumes libvirt answers.  When a host's control
+channel degrades hard enough that the per-call retries and the circuit
+breaker keep tripping, continuing to run the CUBIC controller is worse
+than useless: its state evolves against actuations that never land.
+The paper's own evaluation carries the fallback this ladder steps onto
+— a *static* cap at 20 % of the antagonist's observed usage, the
+baseline PerfCloud is compared against — and below that, pure
+monitoring.
+
+Rungs (one :class:`DegradationLadder` per host):
+
+``FULL``
+    Normal operation — detection, identification, CUBIC control.
+``STATIC_CAP``
+    Entered when the host breaker trips.  Detection and identification
+    still run; identified antagonists get a one-shot static cap at
+    ``static_cap_fraction`` of observed usage instead of the CUBIC
+    trajectory (nothing to mis-evolve when actuations fail), released
+    when contention clears.
+``MONITOR``
+    Entered when the breaker keeps re-opening while already degraded
+    (``monitor_after_opens`` further opens).  Sampling continues
+    best-effort; no control action is attempted.
+
+Recovery is automatic and stepwise: after the breaker has stayed
+``CLOSED`` continuously for ``recovery_hold_s``, the ladder climbs one
+rung and restarts the hold, so a host returns MONITOR → STATIC_CAP →
+FULL only through sustained health.  The MONITOR transition counts
+breaker *opens since entering STATIC_CAP* rather than a consecutive-
+reopen streak on purpose: a host whose sampling calls succeed closes
+the breaker between actuation bursts, which would reset any streak while
+the control channel remains broken.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.resilience.breaker import CLOSED, BreakerPolicy, CircuitBreaker
+
+__all__ = [
+    "FULL",
+    "STATIC_CAP",
+    "MONITOR",
+    "DegradationLadder",
+    "ResiliencePolicy",
+    "ResilienceStats",
+]
+
+FULL = "full"
+STATIC_CAP = "static_cap"
+MONITOR = "monitor"
+
+#: Rung order, most capable first.
+_RUNGS = (FULL, STATIC_CAP, MONITOR)
+
+
+@dataclass(frozen=True)
+class ResiliencePolicy:
+    """Enables the breaker + ladder on a node manager."""
+
+    breaker: BreakerPolicy = field(default_factory=BreakerPolicy)
+    #: Static fallback cap as a fraction of the antagonist's observed
+    #: usage (0.2 = the paper's static-20 % baseline).
+    static_cap_fraction: float = 0.2
+    #: Breaker opens *after entering* STATIC_CAP that drop the host to
+    #: MONITOR.
+    monitor_after_opens: int = 2
+    #: Continuous breaker-CLOSED time required to climb one rung.
+    recovery_hold_s: float = 30.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.static_cap_fraction <= 1.0:
+            raise ValueError(
+                f"static_cap_fraction must be in (0, 1], got "
+                f"{self.static_cap_fraction}"
+            )
+
+
+@dataclass
+class ResilienceStats:
+    """One host's ladder + breaker posture, for summaries and assertions."""
+
+    host: str
+    mode: str
+    degradations: int
+    recoveries: int
+    transitions: List[Tuple[float, str, str]]
+    breaker: Dict[str, Any]
+    static_caps_active: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "host": self.host,
+            "mode": self.mode,
+            "degradations": self.degradations,
+            "recoveries": self.recoveries,
+            "transitions": list(self.transitions),
+            "breaker": dict(self.breaker),
+            "static_caps_active": self.static_caps_active,
+        }
+
+
+class DegradationLadder:
+    """Mode selector for one host, driven by its circuit breaker."""
+
+    def __init__(self, host: str,
+                 policy: Optional[ResiliencePolicy] = None) -> None:
+        self.host = host
+        self.policy = policy or ResiliencePolicy()
+        self.breaker = CircuitBreaker(host, self.policy.breaker)
+        self.mode = FULL
+        self.degradations = 0
+        self.recoveries = 0
+        #: ``(time, from_mode, to_mode)`` transition log.
+        self.transitions: List[Tuple[float, str, str]] = []
+        self._closed_since: Optional[float] = None
+        self._opens_at_entry = 0
+
+    def update(self, now: float) -> str:
+        """Advance the ladder for this control interval; returns the mode.
+
+        Call once per interval *before* acting — the returned mode is
+        what the caller should operate in right now.
+        """
+        if self.breaker.state == CLOSED:
+            if self._closed_since is None:
+                self._closed_since = now
+            if (
+                self.mode != FULL
+                and now - self._closed_since >= self.policy.recovery_hold_s
+            ):
+                self._transition(now, _RUNGS[_RUNGS.index(self.mode) - 1])
+                # Each rung requires its own full hold of health.
+                self._closed_since = now
+        else:
+            self._closed_since = None
+            if self.mode == FULL:
+                self._transition(now, STATIC_CAP)
+            elif self.mode == STATIC_CAP and (
+                self.breaker.opens - self._opens_at_entry
+                >= self.policy.monitor_after_opens
+            ):
+                self._transition(now, MONITOR)
+        return self.mode
+
+    def _transition(self, now: float, new_mode: str) -> None:
+        old = self.mode
+        self.mode = new_mode
+        self.transitions.append((now, old, new_mode))
+        self._opens_at_entry = self.breaker.opens
+        if _RUNGS.index(new_mode) > _RUNGS.index(old):
+            self.degradations += 1
+        else:
+            self.recoveries += 1
+
+    def stats(self, *, static_caps_active: int = 0) -> ResilienceStats:
+        return ResilienceStats(
+            host=self.host,
+            mode=self.mode,
+            degradations=self.degradations,
+            recoveries=self.recoveries,
+            transitions=list(self.transitions),
+            breaker=self.breaker.snapshot(),
+            static_caps_active=static_caps_active,
+        )

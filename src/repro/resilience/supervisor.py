@@ -1,0 +1,674 @@
+"""Supervised process-pool execution that survives worker failure.
+
+:func:`run_many_supervised_report` is a drop-in variant of
+:func:`repro.experiments.parallel.run_many_report` for runs that must
+*finish* even when individual workers crash, wedge or straggle.  Where
+the plain engine hands tasks to a :class:`ProcessPoolExecutor` and
+re-raises the first failure, the supervisor owns its worker processes
+directly and layers on:
+
+* **per-task wall-clock timeouts** — a dispatch that exceeds its budget
+  gets its worker killed and the task rescheduled;
+* **worker heartbeats** — each worker beats a shared monotonic-clock
+  slot from a daemon thread; a silent worker (e.g. ``SIGSTOP``-frozen,
+  where the pipe stays open so no EOF ever arrives) is detected and
+  killed even though its task deadline may be far away;
+* **bounded retries with seeded backoff** — failed attempts reschedule
+  up to ``max_retries`` times with exponentially-growing, seeded-jitter
+  delays;
+* **dead-pool respawn** — killed/crashed workers are replaced from a
+  bounded respawn budget, so one bad task cannot drain the pool;
+* **speculative re-dispatch** — a task running far beyond the median of
+  completed tasks gets a duplicate dispatched to an idle worker (the
+  harness-level analogue of the paper's LATE straggler baseline);
+  whichever attempt finishes first wins;
+* **partial-result salvage** — with ``salvage=True`` (default) a task
+  that exhausts every attempt resolves to a ``None`` placeholder with a
+  ``timed_out``/``failed`` outcome instead of aborting the whole run;
+* **serial fallback** — if the pool dies faster than the respawn budget
+  can replace it, the remaining tasks run in-process (the last rung:
+  no timeout enforcement, but guaranteed progress).
+
+Fault-free supervised execution produces results byte-identical to
+:func:`run_many` — same values, same submission-order merge; the
+supervisor only *adds* the per-task :class:`TaskOutcome` records and a
+:class:`SupervisorStats` block to the report.
+
+Workers are dedicated processes connected by per-worker duplex pipes —
+deliberately **not** a shared ``multiprocessing.Queue``: SIGKILLing a
+worker that holds a shared queue's read lock would deadlock every other
+consumer, which is exactly the failure mode this module exists to
+survive.  Killing a pipe's worker only ever breaks that pipe.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import random
+import statistics
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as connection_wait
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.experiments.cache import ResultCache, task_key
+from repro.experiments.parallel import (
+    Progress,
+    RunReport,
+    TaskOutcome,
+    WorkerError,
+    _traced,
+)
+
+__all__ = [
+    "SupervisorPolicy",
+    "SupervisorStats",
+    "run_many_supervised",
+    "run_many_supervised_report",
+]
+
+#: Set (to ``"1"``) in the environment of every supervised worker
+#: process.  Chaos wrappers key off it so a fault that SIGKILLs "the
+#: worker" can never fire in the parent — in particular not when the
+#: serial-fallback rung runs remaining tasks in-process.
+WORKER_ENV = "REPRO_SUPERVISED_WORKER"
+
+
+@dataclass(frozen=True)
+class SupervisorPolicy:
+    """Knobs for supervised execution.  Defaults suit minutes-long tasks."""
+
+    #: Wall-clock budget per dispatch; an attempt exceeding it is killed
+    #: and counts as a timeout failure.
+    task_timeout_s: float = 600.0
+    #: How often each worker's daemon thread refreshes its heartbeat slot.
+    heartbeat_interval_s: float = 0.2
+    #: Heartbeat staleness that gets a worker declared wedged and killed.
+    heartbeat_grace_s: float = 5.0
+    #: Failed attempts a task may retry (total attempts = retries + 1).
+    max_retries: int = 2
+    #: First-retry backoff; doubles per subsequent failure of the task.
+    backoff_base_s: float = 0.05
+    #: Backoff ceiling.
+    backoff_max_s: float = 2.0
+    #: Seed for the backoff-jitter stream (never touches task results).
+    seed: int = 0
+    #: Dispatch a duplicate of a straggling task to an idle worker.
+    speculate: bool = True
+    #: Straggler threshold: elapsed > factor × median completed duration.
+    speculation_factor: float = 3.0
+    #: Completed-task sample required before the median is trusted.
+    speculation_min_done: int = 3
+    #: Replacement workers that may be spawned over the run's lifetime.
+    max_respawns: int = 4
+    #: Resolve exhausted tasks to ``None`` placeholders instead of raising.
+    salvage: bool = True
+    #: Run remaining tasks in-process if the pool dies beyond respawn.
+    serial_fallback: bool = True
+    #: Parent poll cadence (pipe readiness + deadline scans).
+    poll_interval_s: float = 0.02
+
+
+@dataclass
+class SupervisorStats:
+    """What supervision had to do during one run (all zero ⇒ clean run)."""
+
+    retries: int = 0
+    timeouts: int = 0
+    heartbeat_kills: int = 0
+    worker_deaths: int = 0
+    respawns: int = 0
+    speculative: int = 0
+    speculative_wins: int = 0
+    salvaged: int = 0
+    serial_fallback: bool = False
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "heartbeat_kills": self.heartbeat_kills,
+            "worker_deaths": self.worker_deaths,
+            "respawns": self.respawns,
+            "speculative": self.speculative,
+            "speculative_wins": self.speculative_wins,
+            "salvaged": self.salvaged,
+            "serial_fallback": self.serial_fallback,
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker side
+
+
+def _worker_main(conn, heartbeats, slot: int, interval: float) -> None:
+    """Worker process body: beat the heartbeat, run tasks off the pipe.
+
+    The heartbeat runs on a daemon thread so it keeps beating while the
+    runner blocks in C code or sleeps; only process-wide freezes
+    (``SIGSTOP``, a GIL-holding spin, death) silence it — which is
+    precisely the signal the parent wants.
+    """
+    os.environ[WORKER_ENV] = "1"
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.is_set():
+            heartbeats[slot] = time.monotonic()
+            stop.wait(interval)
+
+    threading.Thread(target=beat, daemon=True).start()
+    try:
+        while True:
+            message = conn.recv()
+            if message[0] == "stop":
+                break
+            _, index, runner, task = message
+            conn.send(("done", index, _traced(runner, task)))
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        stop.set()
+
+
+# ----------------------------------------------------------------------
+# Parent side
+
+
+class _Task:
+    """Supervision state for one submitted task."""
+
+    __slots__ = (
+        "index", "dispatches", "failures", "active", "eligible_at",
+        "first_dispatch", "speculated", "resolved", "last_error",
+        "last_kind",
+    )
+
+    def __init__(self, index: int) -> None:
+        self.index = index
+        self.dispatches = 0          # attempts sent (incl. speculative)
+        self.failures = 0            # attempts that failed
+        self.active: Set[int] = set()  # worker ids running it right now
+        self.eligible_at = 0.0       # earliest re-dispatch time (backoff)
+        self.first_dispatch: Optional[float] = None
+        self.speculated = False
+        self.resolved = False
+        self.last_error: Optional[str] = None
+        self.last_kind = "failed"    # "failed" | "timed_out"
+
+
+class _Worker:
+    __slots__ = ("wid", "proc", "conn", "slot", "task")
+
+    def __init__(self, wid: int, proc, conn, slot: int) -> None:
+        self.wid = wid
+        self.proc = proc
+        self.conn = conn
+        self.slot = slot
+        self.task: Optional[int] = None  # task index, or None when idle
+
+
+class _Supervisor:
+    def __init__(
+        self,
+        tasks: Sequence[Any],
+        runner: Callable[[Any], Any],
+        pending: List[int],
+        workers: int,
+        policy: SupervisorPolicy,
+        settle: Callable[[int, Any, TaskOutcome], None],
+        stats: SupervisorStats,
+    ) -> None:
+        self.tasks = tasks
+        self.runner = runner
+        self.policy = policy
+        self.settle = settle
+        self.stats = stats
+        self.target_workers = workers
+        self.states = {i: _Task(i) for i in pending}
+        self.unresolved: Set[int] = set(pending)
+        self.durations: List[float] = []
+        self.rng = random.Random(policy.seed)
+        self.fatal: Optional[Tuple[int, BaseException, Optional[str]]] = None
+
+        # fork keeps startup cheap on Linux; heartbeats + pipes are
+        # inherited either way.  One heartbeat slot per worker ever
+        # spawned, preallocated for the full respawn budget.
+        try:
+            self.ctx = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-fork platforms
+            self.ctx = multiprocessing.get_context()
+        self.slots = workers + policy.max_respawns
+        self.heartbeats = self.ctx.Array("d", self.slots, lock=False)
+        self.spawned = 0
+        self.pool: List[_Worker] = []
+        self.by_conn: Dict[Any, _Worker] = {}
+
+    # -- worker lifecycle ------------------------------------------------
+
+    def _spawn(self) -> Optional[_Worker]:
+        if self.spawned >= self.slots:
+            return None
+        slot = self.spawned
+        parent_conn, child_conn = self.ctx.Pipe(duplex=True)
+        self.heartbeats[slot] = time.monotonic()
+        proc = self.ctx.Process(
+            target=_worker_main,
+            args=(child_conn, self.heartbeats, slot,
+                  self.policy.heartbeat_interval_s),
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(self.spawned, proc, parent_conn, slot)
+        self.spawned += 1
+        self.pool.append(worker)
+        self.by_conn[parent_conn] = worker
+        return worker
+
+    def _remove(self, worker: _Worker) -> None:
+        self.pool.remove(worker)
+        self.by_conn.pop(worker.conn, None)
+        try:
+            worker.conn.close()
+        except OSError:
+            pass
+
+    def _kill(self, worker: _Worker) -> None:
+        self._remove(worker)
+        try:
+            worker.proc.kill()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+        worker.proc.join(timeout=5.0)
+
+    def _respawn_budget(self) -> int:
+        return self.slots - self.spawned
+
+    # -- attempt resolution ----------------------------------------------
+
+    def _attempt_failed(self, worker: _Worker, kind: str,
+                        error: Optional[str]) -> None:
+        index = worker.task
+        worker.task = None
+        if index is None:
+            return
+        state = self.states[index]
+        state.active.discard(worker.wid)
+        if state.resolved:
+            return  # a speculative sibling already won; nothing to do
+        state.failures += 1
+        state.last_error = error
+        state.last_kind = kind
+        if state.active:
+            return  # a sibling attempt is still running — let it race
+        if state.failures <= self.policy.max_retries:
+            backoff = min(
+                self.policy.backoff_max_s,
+                self.policy.backoff_base_s * (2 ** (state.failures - 1)),
+            )
+            # Seeded jitter in [0.5, 1.0]× so simultaneous retries from
+            # one failure burst don't re-dispatch in lockstep.
+            state.eligible_at = (
+                time.monotonic() + backoff * (0.5 + 0.5 * self.rng.random())
+            )
+            self.stats.retries += 1
+            return
+        self._exhausted(state)
+
+    def _exhausted(self, state: _Task) -> None:
+        if self.policy.salvage:
+            self.stats.salvaged += 1
+            self.settle(state.index, None, TaskOutcome(
+                index=state.index, status=state.last_kind,
+                attempts=state.dispatches,
+                elapsed=(time.monotonic() - state.first_dispatch
+                         if state.first_dispatch else 0.0),
+                error=state.last_error, speculated=state.speculated,
+            ))
+            state.resolved = True
+            self.unresolved.discard(state.index)
+        else:
+            cause: BaseException = RuntimeError(
+                state.last_error or state.last_kind
+            )
+            self.fatal = (state.index, cause, state.last_error)
+
+    def _attempt_done(self, worker: _Worker, index: int,
+                      envelope: Tuple) -> None:
+        state = self.states[index]
+        state.active.discard(worker.wid)
+        worker.task = None
+        if state.resolved:
+            if envelope[0] == "ok":
+                # The speculative loser also succeeded; result discarded.
+                pass
+            return
+        if envelope[0] == "err":
+            _, text, exc = envelope
+            worker.task = index  # restore for the shared failure path
+            self._attempt_failed(worker, "failed", text)
+            return
+        if state.speculated and state.active:
+            self.stats.speculative_wins += 1
+        duration = time.monotonic() - (state.first_dispatch or 0.0)
+        self.durations.append(duration)
+        status = "retried" if state.failures else "ok"
+        self.settle(index, envelope[1], TaskOutcome(
+            index=index, status=status, attempts=state.dispatches,
+            elapsed=duration, speculated=state.speculated,
+        ))
+        state.resolved = True
+        self.unresolved.discard(index)
+
+    # -- scheduling ------------------------------------------------------
+
+    def _runnable(self, now: float) -> List[int]:
+        """Unresolved tasks with no active attempt, past their backoff."""
+        return sorted(
+            i for i in self.unresolved
+            if not self.states[i].active and self.states[i].eligible_at <= now
+        )
+
+    def _dispatch(self, worker: _Worker, index: int, now: float,
+                  speculative: bool = False) -> None:
+        state = self.states[index]
+        state.dispatches += 1
+        if state.first_dispatch is None:
+            state.first_dispatch = now
+        if speculative:
+            state.speculated = True
+            self.stats.speculative += 1
+        state.active.add(worker.wid)
+        worker.task = index
+        try:
+            worker.conn.send(("task", index, self.runner, self.tasks[index]))
+        except (OSError, BrokenPipeError, ValueError):
+            # The worker died between polls; treat as a worker death and
+            # let the normal retry path reschedule the task.
+            self.stats.worker_deaths += 1
+            self._remove(worker)
+            worker.proc.join(timeout=5.0)
+            self._attempt_failed(worker, "failed", "worker process died")
+            return
+        self.dispatch_times[worker.wid] = now
+
+    def _fill_idle(self, now: float) -> None:
+        idle = [w for w in self.pool if w.task is None]
+        if not idle:
+            return
+        for index in self._runnable(now):
+            if not idle:
+                return
+            self._dispatch(idle.pop(0), index, now)
+        if not self.policy.speculate or not idle:
+            return
+        if len(self.durations) < self.policy.speculation_min_done:
+            return
+        threshold = (
+            self.policy.speculation_factor * statistics.median(self.durations)
+        )
+        stragglers = sorted(
+            i for i in self.unresolved
+            if len(self.states[i].active) == 1
+            and not self.states[i].speculated
+            and self.states[i].first_dispatch is not None
+            and now - self.states[i].first_dispatch > threshold
+        )
+        for index in stragglers:
+            if not idle:
+                return
+            self._dispatch(idle.pop(0), index, now, speculative=True)
+
+    # -- failure detection -----------------------------------------------
+
+    def _reap(self, now: float) -> None:
+        for worker in list(self.pool):
+            stale = now - self.heartbeats[worker.slot]
+            busy = worker.task is not None
+            timed_out = (
+                busy
+                and now - self.dispatch_times.get(worker.wid, now)
+                > self.policy.task_timeout_s
+            )
+            wedged = stale > self.policy.heartbeat_grace_s
+            if not timed_out and not wedged:
+                continue
+            if timed_out:
+                self.stats.timeouts += 1
+            else:
+                self.stats.heartbeat_kills += 1
+            self._kill(worker)
+            if busy:
+                self._attempt_failed(
+                    worker, "timed_out",
+                    "task deadline exceeded" if timed_out
+                    else "worker heartbeat lost",
+                )
+
+    def _drain(self, conn) -> None:
+        worker = self.by_conn.get(conn)
+        if worker is None:
+            return
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            # Worker died (crash or external SIGKILL): pipe broke.
+            self.stats.worker_deaths += 1
+            self._remove(worker)
+            worker.proc.join(timeout=5.0)
+            if worker.task is not None:
+                self._attempt_failed(worker, "failed", "worker process died")
+            return
+        if message[0] == "done":
+            self._attempt_done(worker, message[1], message[2])
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self) -> None:
+        self.dispatch_times: Dict[int, float] = {}
+        try:
+            for _ in range(min(self.target_workers, len(self.unresolved))):
+                self._spawn()
+            while self.unresolved and self.fatal is None:
+                now = time.monotonic()
+                self._reap(now)
+                # Keep the pool at strength while the respawn budget and
+                # useful work both remain.
+                while (
+                    len(self.pool) < min(self.target_workers,
+                                         len(self.unresolved))
+                    and self._respawn_budget() > 0
+                ):
+                    if self._spawn() is None:
+                        break
+                    self.stats.respawns += 1
+                if not self.pool:
+                    break  # pool is dead beyond respawn → fallback rung
+                self._fill_idle(now)
+                ready = connection_wait(
+                    [w.conn for w in self.pool],
+                    timeout=self.policy.poll_interval_s,
+                )
+                for conn in ready:
+                    self._drain(conn)
+        finally:
+            self._shutdown()
+        if self.fatal is not None:
+            index, cause, text = self.fatal
+            raise WorkerError(index, self.tasks[index], cause, text) from cause
+        if self.unresolved:
+            self._serial_rung()
+
+    def _shutdown(self) -> None:
+        for worker in list(self.pool):
+            if worker.task is None:
+                try:
+                    worker.conn.send(("stop",))
+                except (OSError, BrokenPipeError):
+                    pass
+        for worker in list(self.pool):
+            worker.proc.join(timeout=1.0)
+            if worker.proc.is_alive():
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            self._remove(worker)
+
+    def _serial_rung(self) -> None:
+        """Last rung: finish remaining tasks in-process.
+
+        No timeout enforcement is possible here (there is no worker to
+        kill), but progress is guaranteed and chaos kill-wrappers stay
+        inert because :data:`WORKER_ENV` is unset in the parent.
+        """
+        self.stats.serial_fallback = True
+        for index in sorted(self.unresolved):
+            state = self.states[index]
+            while True:
+                state.dispatches += 1
+                if state.first_dispatch is None:
+                    state.first_dispatch = time.monotonic()
+                try:
+                    value = self.runner(self.tasks[index])
+                except Exception:
+                    state.failures += 1
+                    state.last_error = traceback.format_exc()
+                    state.last_kind = "failed"
+                    if state.failures <= self.policy.max_retries:
+                        self.stats.retries += 1
+                        backoff = min(
+                            self.policy.backoff_max_s,
+                            self.policy.backoff_base_s
+                            * (2 ** (state.failures - 1)),
+                        )
+                        time.sleep(backoff * (0.5 + 0.5 * self.rng.random()))
+                        continue
+                    self._exhausted(state)
+                    if self.fatal is not None:
+                        index_, cause, text = self.fatal
+                        raise WorkerError(
+                            index_, self.tasks[index_], cause, text
+                        ) from cause
+                    break
+                status = "retried" if state.failures else "ok"
+                self.settle(index, value, TaskOutcome(
+                    index=index, status=status, attempts=state.dispatches,
+                    elapsed=time.monotonic() - state.first_dispatch,
+                    speculated=state.speculated,
+                ))
+                state.resolved = True
+                self.unresolved.discard(index)
+                break
+
+
+# ----------------------------------------------------------------------
+# Entry points
+
+
+def run_many_supervised_report(
+    tasks: Sequence[Any],
+    runner: Callable[[Any], Any],
+    *,
+    workers: int = 0,
+    policy: Optional[SupervisorPolicy] = None,
+    cache: Optional[ResultCache] = None,
+    key_fn: Optional[Callable[[Any], str]] = None,
+    progress: Optional[Callable[[Progress], None]] = None,
+    checkpoint=None,
+) -> RunReport:
+    """Supervised :func:`run_many_report`: survives worker failure.
+
+    Same contract and arguments as the plain engine plus ``policy``;
+    the returned :class:`RunReport` additionally carries per-task
+    :class:`TaskOutcome` records, a :class:`SupervisorStats` block in
+    ``report.supervisor``, and — when salvage engaged — ``None``
+    placeholders at the salvaged indices (check ``report.ok``).
+
+    With ``workers=0`` the tasks run in-process with retry/salvage
+    semantics but no timeout enforcement (identical to the pool path's
+    serial-fallback rung).
+    """
+    policy = policy or SupervisorPolicy()
+    tasks = list(tasks)
+    total = len(tasks)
+    start = time.perf_counter()
+    results: List[Any] = [None] * total
+    outcomes: List[Optional[TaskOutcome]] = [None] * total
+    keys: List[Optional[str]] = [None] * total
+    stats = SupervisorStats()
+
+    cached = 0
+    if cache is not None:
+        make_key = key_fn or task_key
+        for i, task in enumerate(tasks):
+            keys[i] = make_key(task)
+            hit, value = cache.get(keys[i])
+            if hit:
+                results[i] = value
+                outcomes[i] = TaskOutcome(index=i, status="cached", attempts=0)
+                cached += 1
+                if checkpoint is not None:
+                    checkpoint.record(keys[i])
+
+    pending = [i for i in range(total) if outcomes[i] is None]
+    executed = len(pending)
+    done = cached
+
+    def emit() -> None:
+        if progress is not None:
+            progress(Progress(
+                done=done, total=total, executed=executed, cached=cached,
+                elapsed=time.perf_counter() - start,
+            ))
+
+    def settle(i: int, value: Any, outcome: TaskOutcome) -> None:
+        nonlocal done
+        results[i] = value
+        outcomes[i] = outcome
+        if outcome.ok:
+            if cache is not None:
+                cache.put(keys[i], value)
+            if checkpoint is not None:
+                checkpoint.record(keys[i])
+        done += 1
+        emit()
+
+    emit()
+
+    if pending:
+        if workers > 0:
+            supervisor = _Supervisor(
+                tasks, runner, pending, workers, policy, settle, stats,
+            )
+            supervisor.run()
+        else:
+            # In-process supervision: reuse the serial rung directly so
+            # the two code paths cannot drift.
+            supervisor = _Supervisor(
+                tasks, runner, pending, 0, policy, settle, stats,
+            )
+            supervisor.dispatch_times = {}
+            supervisor._serial_rung()
+            stats.serial_fallback = False  # it was the requested mode
+
+    return RunReport(
+        results=results, executed=executed, cached=cached,
+        elapsed=time.perf_counter() - start,
+        outcomes=[
+            o if o is not None else TaskOutcome(index=i, status="failed")
+            for i, o in enumerate(outcomes)
+        ],
+        supervisor=stats,
+    )
+
+
+def run_many_supervised(
+    tasks: Sequence[Any],
+    runner: Callable[[Any], Any],
+    **kwargs,
+) -> List[Any]:
+    """Results-only façade over :func:`run_many_supervised_report`."""
+    return run_many_supervised_report(tasks, runner, **kwargs).results

@@ -93,6 +93,9 @@ class CorpusResult:
     executed: int
     cached: int
     elapsed: float
+    #: Tasks already recorded complete by a resumed checkpoint manifest
+    #: (0 for fresh runs and runs without ``resume``).
+    resumed: int = 0
 
     @property
     def all_passed(self) -> bool:
@@ -207,11 +210,24 @@ def run_corpus(
     workers: int = 0,
     cache_dir: Optional[str] = None,
     progress: Optional[Callable[[Progress], None]] = None,
+    supervise: bool = False,
+    resume: Optional[str] = None,
 ) -> CorpusResult:
     """Run and score a list of scenarios; returns the scored matrix.
 
     Results come back in scenario order regardless of ``workers``, so
     the matrix is byte-identical serial vs parallel at equal seeds.
+
+    ``supervise=True`` routes execution through the supervised pool
+    (per-task timeouts, retries, worker respawn — see
+    :mod:`repro.resilience.supervisor`); a supervised task that
+    exhausts every attempt scores as a failed scenario with a
+    ``task salvaged`` reason instead of aborting the corpus.  ``resume``
+    names a checkpoint-manifest path: completed task keys are recorded
+    as the run progresses, and a re-invocation after a mid-flight kill
+    re-executes zero finished tasks (requires ``cache_dir``; the
+    manifest is scoped to this corpus + code version, so a changed
+    corpus starts clean).
     """
     tasks: List[ScenarioTask] = []
     slots: List[Tuple[int, Optional[int]]] = []  # (scenario idx, baseline idx)
@@ -226,14 +242,48 @@ def run_corpus(
         slots.append((main, base))
 
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    report = run_many_report(tasks, run_scenario_task, workers=workers,
-                             cache=cache, progress=progress)
+    checkpoint = None
+    resumed = 0
+    if resume is not None:
+        if cache is None:
+            raise ValueError("resume requires a cache dir (results of "
+                             "finished tasks replay from the cache)")
+        from repro.resilience.checkpoint import Checkpoint
+
+        checkpoint = Checkpoint(
+            resume,
+            run_id=f"{corpus_digest(specs)}:{code_version()}",
+            total=len(tasks),
+        )
+        resumed = len(checkpoint)
+
+    if supervise:
+        from repro.resilience.supervisor import run_many_supervised_report
+
+        report = run_many_supervised_report(
+            tasks, run_scenario_task, workers=workers,
+            cache=cache, progress=progress, checkpoint=checkpoint,
+        )
+    else:
+        report = run_many_report(
+            tasks, run_scenario_task, workers=workers,
+            cache=cache, progress=progress, checkpoint=checkpoint,
+        )
+    if checkpoint is not None:
+        checkpoint.close()
 
     records: List[ScenarioRecord] = []
     for spec, (main, base) in zip(specs, slots):
-        metrics = dict(report.results[main])
+        outcome = report.results[main]
+        # A salvaged supervised task resolves to None: score it as a
+        # failed scenario rather than crashing the judgement pass.
+        metrics = dict(outcome) if outcome is not None else {
+            "error": "task salvaged (every supervised attempt failed)"
+        }
         if base is not None:
-            _slowdown(metrics, report.results[base])
+            _slowdown(metrics, report.results[base]
+                      if report.results[base] is not None
+                      else {"error": "baseline salvaged"})
         score = score_scenario(spec, metrics, error=metrics.get("error"))
         records.append(ScenarioRecord(
             name=spec.name,
@@ -250,4 +300,5 @@ def run_corpus(
         executed=report.executed,
         cached=report.cached,
         elapsed=report.elapsed,
+        resumed=resumed,
     )

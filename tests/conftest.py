@@ -1,10 +1,78 @@
-"""Shared fixtures for the PerfCloud reproduction test suite."""
+"""Shared fixtures for the PerfCloud reproduction test suite.
+
+Also provides a minimal fallback for ``pytest-timeout`` when the plugin
+is not installed: the resilience tests exercise hangs, kills and
+freezes, so a regression here can wedge a test forever — exactly the
+failure mode a timeout plugin exists to catch.  CI installs the real
+plugin; locally, a SIGALRM-based stand-in honors the ``timeout`` ini
+default and ``@pytest.mark.timeout(N)`` so a hung test dies with a
+traceback instead of wedging the run.  (Signal-based, so it only
+interrupts the main thread and cannot preempt a stuck C call — the
+real plugin is strictly better; this keeps the suite safe without it.)
+"""
+
+import signal
 
 import numpy as np
 import pytest
 
 from repro.sim.engine import Simulator
 from repro.sim.rng import RngRegistry
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_addoption(parser):
+    if _HAVE_PYTEST_TIMEOUT:
+        return
+    # Register the same ini key pytest-timeout owns, so pyproject.toml
+    # can set a default either way.
+    try:
+        parser.addini("timeout", "fallback per-test timeout in seconds",
+                      default="0")
+    except ValueError:  # pragma: no cover - already registered
+        pass
+
+
+def _resolve_timeout(item) -> float:
+    marker = item.get_closest_marker("timeout")
+    if marker is not None and marker.args:
+        return float(marker.args[0])
+    try:
+        return float(item.config.getini("timeout") or 0)
+    except (TypeError, ValueError):
+        return 0.0
+
+
+if not _HAVE_PYTEST_TIMEOUT:
+
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        seconds = _resolve_timeout(item)
+        use_alarm = (
+            seconds > 0
+            and hasattr(signal, "SIGALRM")
+            and hasattr(signal, "setitimer")
+        )
+        if use_alarm:
+            def on_timeout(signum, frame):
+                raise TimeoutError(
+                    f"test exceeded fallback timeout of {seconds:g}s "
+                    f"(install pytest-timeout for the full-featured version)"
+                )
+
+            previous = signal.signal(signal.SIGALRM, on_timeout)
+            signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            if use_alarm:
+                signal.setitimer(signal.ITIMER_REAL, 0)
+                signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

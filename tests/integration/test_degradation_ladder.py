@@ -1,0 +1,227 @@
+"""Degradation ladder through the node manager, end to end.
+
+Persistent libvirt failure (the fault injector failing every call) must
+walk a host down the ladder — breaker opens, CUBIC control replaced by
+the paper's static-cap fallback, then monitoring only — and sustained
+health must walk it back up, releasing the fallback caps on the way.
+"""
+
+import pytest
+
+from repro.cloud.nova import CloudManager
+from repro.core.config import PerfCloudConfig
+from repro.core.monitor import VmSample
+from repro.core.node_manager import NodeManager
+from repro.faults import FaultInjector, FaultPlan
+from repro.resilience import (
+    FULL,
+    MONITOR,
+    STATIC_CAP,
+    BreakerPolicy,
+    ResiliencePolicy,
+)
+from repro.sim.engine import Simulator
+from repro.virt.cluster import Cluster
+
+pytestmark = pytest.mark.timeout(120)
+
+RESILIENCE = ResiliencePolicy(
+    breaker=BreakerPolicy(
+        failure_threshold=3, window_s=60.0, open_cooldown_s=4.0,
+        max_cooldown_s=8.0, close_after=1, probe_budget=2,
+    ),
+    static_cap_fraction=0.2,
+    monitor_after_opens=2,
+    recovery_hold_s=4.0,
+)
+
+BROKEN = FaultPlan(call_failure_p=1.0, connection_failure_p=1.0)
+
+
+@pytest.fixture
+def world():
+    sim = Simulator(dt=1.0, seed=0)
+    cluster = Cluster(sim)
+    cluster.add_host("h0")
+    cloud = CloudManager(cluster)
+    return sim, cluster, cloud
+
+
+def build(sim, cluster, cloud, *, resilience=RESILIENCE):
+    from repro.virt.vm import Priority
+
+    cloud.boot("victim", host="h0", priority=Priority.HIGH, app_id="app")
+    cloud.boot("bad", host="h0", priority=Priority.LOW)
+    cloud.boot("bad2", host="h0", priority=Priority.LOW)
+    injector = FaultInjector(sim, FaultPlan(), cluster=cluster)
+    nm = NodeManager(sim, "h0", cloud, PerfCloudConfig(), autostart=False,
+                     fault_injector=injector, resilience=resilience)
+    return injector, nm
+
+
+def samples(io_bps=5e6, cores=2.0):
+    def one():
+        return VmSample(time=0.0, iowait_ratio=0.0, cpi=1.0,
+                        io_bytes_ps=io_bps, llc_miss_rate=None,
+                        cpu_usage_cores=cores)
+    return {"bad": one(), "bad2": one()}
+
+
+def run_until(sim, nm, predicate, max_intervals):
+    """Step 1 s control intervals until ``predicate()`` or the budget ends."""
+    for _ in range(max_intervals):
+        sim.run_for(1.0)
+        nm.control_interval()
+        if predicate():
+            return True
+    return predicate()
+
+
+# ----------------------------------------------------------------------
+# End-to-end: break the channel, watch the ladder walk down and back up.
+
+
+def test_persistent_failure_degrades_then_recovery_climbs_back(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud)
+    assert nm.resilience_summary().mode == FULL
+
+    # Phase 1: every libvirt call fails → the breaker trips and the
+    # ladder leaves FULL.
+    injector.plan = BROKEN
+    assert run_until(sim, nm,
+                     lambda: nm.resilience_summary().mode == STATIC_CAP, 10)
+    summary = nm.resilience_summary()
+    assert summary.breaker["opens"] >= 1
+    assert summary.degradations == 1
+
+    # Phase 2: the channel stays broken — probes keep failing, the
+    # breaker keeps re-opening, and the host drops to monitoring only.
+    assert run_until(sim, nm,
+                     lambda: nm.resilience_summary().mode == MONITOR, 60)
+    assert nm.resilience_summary().degradations == 2
+    before_monitor = nm.stats.monitor_intervals
+    sim.run_for(1.0)
+    nm.control_interval()
+    assert nm.stats.monitor_intervals == before_monitor + 1
+
+    # While open, calls are refused locally instead of hammering libvirt.
+    assert nm.resilience_summary().breaker["refused"] > 0
+
+    # Phase 3: heal the channel — probes succeed, the breaker closes,
+    # and sustained health climbs MONITOR → STATIC_CAP → FULL.
+    injector.plan = FaultPlan()
+    assert run_until(sim, nm,
+                     lambda: nm.resilience_summary().mode == FULL, 120)
+    summary = nm.resilience_summary()
+    assert summary.recoveries == 2
+    assert summary.breaker["state"] == "closed"
+    assert summary.breaker["closes"] >= 1
+    # The transition log tells the whole story in order.
+    moves = [(a, b) for (_, a, b) in summary.transitions]
+    assert moves[:2] == [(FULL, STATIC_CAP), (STATIC_CAP, MONITOR)]
+    assert moves[-2:] == [(MONITOR, STATIC_CAP), (STATIC_CAP, FULL)]
+    # The interval task itself never died along the way.
+    assert nm.stats.intervals_completed + nm.stats.intervals_aborted > 0
+
+
+def test_without_resilience_policy_summary_is_none(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud, resilience=None)
+    assert nm.resilience_summary() is None
+    assert nm.ladder is None
+    sim.run_for(1.0)
+    nm.control_interval()  # plain path unaffected
+
+
+# ----------------------------------------------------------------------
+# Static-cap rung mechanics (breaker healthy, rung forced).
+
+
+def test_static_control_caps_at_fraction_of_observed_usage(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud)
+    nm._static_control("io", {"bad", "bad2"}, True, samples(io_bps=5e6),
+                       now=5.0)
+    assert nm.static_caps[("bad", "io")] == pytest.approx(1e6)  # 20 %
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap == pytest.approx(1e6)
+    assert cluster.vms["bad2"].cgroup.throttle.bps_cap == pytest.approx(1e6)
+    assert nm.stats.static_caps_applied == 2
+    assert [(vm, frac) for (_, vm, _, frac) in nm.actions] == [
+        ("bad", 0.2), ("bad2", 0.2),
+    ]
+    # One-shot: a second interval with the same antagonists re-applies
+    # nothing (no CUBIC trajectory to evolve).
+    nm._static_control("io", {"bad", "bad2"}, True, samples(io_bps=5e6),
+                       now=6.0)
+    assert nm.stats.static_caps_applied == 2
+
+
+def test_static_caps_release_when_contention_clears(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud)
+    nm._static_control("io", {"bad"}, True, samples(), now=5.0)
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap is not None
+    nm._static_control("io", set(), False, samples(), now=6.0)
+    nm._reconcile_static(6.0)
+    assert nm.static_caps == {}
+    assert nm.stats.static_caps_released == 1
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap is None
+
+
+def test_static_reconcile_reasserts_wiped_cap(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud)
+    nm._static_control("io", {"bad"}, True, samples(io_bps=5e6), now=5.0)
+    vm = cluster.vms["bad"]
+    vm.cgroup.throttle.bps_cap = None  # guest reboot wiped the cgroup
+    nm._reconcile_static(6.0)
+    assert vm.cgroup.throttle.bps_cap == pytest.approx(1e6)
+    assert nm.stats.caps_reconciled == 1
+
+
+# ----------------------------------------------------------------------
+# Mode-change bookkeeping.
+
+
+def test_degrading_inherits_cubic_caps_and_drops_cubic_state(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud)
+    nm._control("io", {"bad"}, True, samples(io_bps=5e6), now=5.0)
+    inherited = nm.cap_states[("bad", "io")].absolute_cap
+    for _ in range(RESILIENCE.breaker.failure_threshold):
+        nm.ladder.breaker.record_failure(6.0)
+    assert nm._update_mode(6.0) == STATIC_CAP
+    assert nm.cap_states == {}
+    assert nm.stats.cubic_states_dropped == 1
+    # The already-applied throttle survives degradation as the static
+    # posture — an identified antagonist must not be released by a
+    # control-channel failure.
+    assert nm.static_caps[("bad", "io")] == pytest.approx(inherited)
+
+
+def test_recovery_to_full_releases_static_posture(world):
+    sim, cluster, cloud = world
+    injector, nm = build(sim, cluster, cloud)
+    breaker = nm.ladder.breaker
+    for _ in range(RESILIENCE.breaker.failure_threshold):
+        breaker.record_failure(0.0)
+    assert nm._update_mode(0.0) == STATIC_CAP
+
+    # Heal the breaker: cooldown elapses, one probe closes it.  The
+    # ladder stays on STATIC_CAP until the recovery hold passes — caps
+    # applied in that window land, because the channel answers again.
+    assert breaker.allows(20.0)
+    breaker.record_start(20.0)
+    breaker.record_success(20.0)
+    assert breaker.state == "closed"
+    assert nm._update_mode(20.0) == STATIC_CAP  # hold starts
+    nm._static_control("io", {"bad"}, True, samples(), now=21.0)
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap is not None
+    assert nm._update_mode(30.0) == FULL
+    # Recovery marked every static cap for release; the next healthy
+    # interval's reconciliation clears them.
+    nm._finish_interval(30.0, FULL)
+    assert nm.static_caps == {}
+    assert cluster.vms["bad"].cgroup.throttle.bps_cap is None
+    assert nm.stats.static_caps_released == 1

@@ -1,0 +1,269 @@
+"""Circuit breaker and degradation ladder: deterministic state machines.
+
+Both take time as an explicit parameter, so every test drives a
+synthetic clock — no sleeps, no wall-clock flakiness.  Cooldown jitter
+is seeded and bounded (±20 %), so advancing past 1.2× the nominal
+cooldown deterministically admits the next probe.
+"""
+
+import pytest
+
+from repro.resilience import (
+    FULL,
+    MONITOR,
+    STATIC_CAP,
+    BreakerOpen,
+    BreakerPolicy,
+    CircuitBreaker,
+    DegradationLadder,
+    ResiliencePolicy,
+)
+from repro.virt.libvirt_api import LibvirtError
+
+pytestmark = pytest.mark.timeout(60)
+
+
+def trip(breaker, now=0.0):
+    """Fail the breaker past its threshold at ``now``."""
+    for _ in range(breaker.policy.failure_threshold):
+        breaker.record_failure(now)
+    assert breaker.state == "open"
+
+
+# ----------------------------------------------------------------------
+# Breaker
+
+
+def test_windowed_failures_trip_the_breaker():
+    b = CircuitBreaker("h0", BreakerPolicy(failure_threshold=5, window_s=30))
+    for t in range(4):
+        b.record_failure(float(t))
+        assert b.state == "closed"
+    b.record_failure(4.0)
+    assert b.state == "open"
+    assert b.opens == 1
+
+
+def test_failures_outside_the_window_do_not_accumulate():
+    b = CircuitBreaker("h0", BreakerPolicy(failure_threshold=2, window_s=30))
+    # One failure every 40 s: each prunes the previous one out of the
+    # window, so the count never reaches the threshold.
+    for t in (0.0, 40.0, 80.0, 120.0):
+        b.record_failure(t)
+    assert b.state == "closed"
+
+
+def test_nonconsecutive_failures_still_trip():
+    # Interleaved successes (healthy sampling between broken actuation
+    # bursts) must not mask a failing channel — the count is windowed,
+    # not consecutive.
+    b = CircuitBreaker("h0", BreakerPolicy(failure_threshold=3, window_s=30))
+    for t in range(3):
+        b.record_failure(float(t))
+        b.record_success(float(t))
+    assert b.state == "open"
+
+
+def test_open_breaker_refuses_locally():
+    b = CircuitBreaker("h0", BreakerPolicy(failure_threshold=1))
+    trip(b)
+    assert not b.allows(0.1)
+    with pytest.raises(BreakerOpen) as exc_info:
+        b.check(0.1)
+    assert b.refused == 1
+    # Refusals must look like a failing facade to every existing guard.
+    assert isinstance(exc_info.value, LibvirtError)
+    assert exc_info.value.host == "h0"
+
+
+def test_cooldown_elapsed_admits_probes_then_closes():
+    policy = BreakerPolicy(
+        failure_threshold=1, open_cooldown_s=10, close_after=2,
+        probe_budget=2,
+    )
+    b = CircuitBreaker("h0", policy)
+    trip(b, now=0.0)
+    assert not b.allows(5.0)  # still cooling down (jitter ≥ 0.8×10 s)
+    now = 13.0  # past 1.2 × cooldown whatever the jitter drew
+    assert b.allows(now)
+    assert b.state == "half_open"
+    for _ in range(policy.close_after):
+        b.check(now)
+        b.record_start(now)
+        b.record_success(now)
+    assert b.state == "closed"
+    assert b.closes == 1
+
+
+def test_probe_budget_bounds_half_open_concurrency():
+    b = CircuitBreaker("h0", BreakerPolicy(
+        failure_threshold=1, open_cooldown_s=1, probe_budget=2,
+        close_after=5,
+    ))
+    trip(b, now=0.0)
+    now = 2.0
+    assert b.allows(now)
+    b.record_start(now)
+    b.record_start(now)
+    # Budget exhausted: further calls are refused until a probe lands.
+    assert not b.allows(now)
+    b.record_success(now)
+    assert b.allows(now)
+
+
+def test_probe_failure_reopens_with_longer_cooldown():
+    b = CircuitBreaker("h0", BreakerPolicy(
+        failure_threshold=1, open_cooldown_s=10, max_cooldown_s=120,
+    ))
+    trip(b, now=0.0)
+    first_wait = b._probe_at
+    assert b.allows(13.0)
+    b.record_start(13.0)
+    b.record_failure(13.0)
+    assert b.state == "open"
+    assert b.opens == 2
+    assert b.probe_failures == 1
+    # Reopen streak doubles the nominal cooldown: ≥ 0.8 × 20 s.
+    assert b._probe_at - 13.0 >= 16.0
+    assert b._probe_at - 13.0 > first_wait
+
+
+def test_snapshot_carries_counters():
+    b = CircuitBreaker("h7", BreakerPolicy(failure_threshold=1))
+    trip(b)
+    snap = b.snapshot()
+    assert snap["host"] == "h7"
+    assert snap["state"] == "open"
+    assert snap["opens"] == 1
+
+
+# ----------------------------------------------------------------------
+# Ladder
+
+
+def ladder_policy(**overrides):
+    defaults = dict(
+        breaker=BreakerPolicy(
+            failure_threshold=1, open_cooldown_s=1, close_after=1,
+            probe_budget=1,
+        ),
+        monitor_after_opens=1,
+        recovery_hold_s=5.0,
+    )
+    defaults.update(overrides)
+    return ResiliencePolicy(**defaults)
+
+
+def test_breaker_trip_degrades_full_to_static_cap():
+    ladder = DegradationLadder("h0", ladder_policy())
+    assert ladder.update(0.0) == FULL
+    ladder.breaker.record_failure(0.5)
+    assert ladder.update(1.0) == STATIC_CAP
+    assert ladder.degradations == 1
+    assert ladder.transitions == [(1.0, FULL, STATIC_CAP)]
+
+
+def test_reopens_while_degraded_drop_to_monitor():
+    ladder = DegradationLadder("h0", ladder_policy())
+    ladder.breaker.record_failure(0.0)
+    assert ladder.update(0.0) == STATIC_CAP
+    # The breaker recovers enough to probe, then fails the probe — a
+    # second open *since entering STATIC_CAP*.
+    assert ladder.breaker.allows(2.0)
+    ladder.breaker.record_start(2.0)
+    ladder.breaker.record_failure(2.0)
+    assert ladder.update(2.0) == MONITOR
+    assert ladder.degradations == 2
+
+
+def test_intermittent_closes_do_not_reset_the_open_count():
+    # A host whose sampling succeeds between actuation bursts closes the
+    # breaker repeatedly; the MONITOR transition must still fire once
+    # enough opens accumulate after entering STATIC_CAP.
+    ladder = DegradationLadder("h0", ladder_policy(monitor_after_opens=2))
+    ladder.breaker.record_failure(0.0)
+    assert ladder.update(0.0) == STATIC_CAP
+    now = 0.0
+    for _ in range(2):
+        now += 2.0  # past cooldown: probe admitted...
+        assert ladder.breaker.allows(now)
+        ladder.breaker.record_start(now)
+        ladder.breaker.record_success(now)  # ...closes (close_after=1)...
+        assert ladder.breaker.state == "closed"
+        ladder.update(now)
+        ladder.breaker.record_failure(now + 0.5)  # ...and re-trips.
+        ladder.update(now + 0.5)
+    assert ladder.mode == MONITOR
+
+
+def test_recovery_climbs_one_rung_per_hold():
+    ladder = DegradationLadder("h0", ladder_policy())
+    ladder.breaker.record_failure(0.0)
+    ladder.update(0.0)
+    ladder.breaker.allows(2.0)
+    ladder.breaker.record_start(2.0)
+    ladder.breaker.record_failure(2.0)
+    assert ladder.update(2.0) == MONITOR
+
+    # Heal: one successful probe closes the breaker (close_after=1).
+    assert ladder.breaker.allows(10.0)
+    ladder.breaker.record_start(10.0)
+    ladder.breaker.record_success(10.0)
+    assert ladder.breaker.state == "closed"
+
+    assert ladder.update(10.0) == MONITOR       # hold starts
+    assert ladder.update(14.0) == MONITOR       # 4 s < 5 s hold
+    assert ladder.update(15.0) == STATIC_CAP    # one rung up
+    assert ladder.update(19.0) == STATIC_CAP    # fresh hold per rung
+    assert ladder.update(20.0) == FULL
+    assert ladder.recoveries == 2
+    assert ladder.degradations == 2
+    assert [(a, b) for (_, a, b) in ladder.transitions] == [
+        (FULL, STATIC_CAP), (STATIC_CAP, MONITOR),
+        (MONITOR, STATIC_CAP), (STATIC_CAP, FULL),
+    ]
+
+
+def test_relapse_during_hold_restarts_the_clock():
+    # High MONITOR threshold: the relapse must stay on STATIC_CAP.
+    ladder = DegradationLadder("h0", ladder_policy(monitor_after_opens=5))
+    ladder.breaker.record_failure(0.0)
+    ladder.update(0.0)
+    # Close, hold 4 s, then relapse: the partial hold must not count.
+    assert ladder.breaker.allows(2.0)
+    ladder.breaker.record_start(2.0)
+    ladder.breaker.record_success(2.0)
+    assert ladder.update(2.0) == STATIC_CAP
+    assert ladder.update(5.9) == STATIC_CAP
+    ladder.breaker.record_failure(6.0)
+    ladder.update(6.0)
+    # Heal again: a full hold is required from scratch.
+    assert ladder.breaker.allows(8.0)
+    ladder.breaker.record_start(8.0)
+    ladder.breaker.record_success(8.0)
+    assert ladder.update(8.0) == STATIC_CAP
+    assert ladder.update(12.0) == STATIC_CAP
+    assert ladder.update(13.0) == FULL
+
+
+def test_stats_snapshot():
+    ladder = DegradationLadder("h3", ladder_policy())
+    ladder.breaker.record_failure(0.0)
+    ladder.update(0.0)
+    stats = ladder.stats(static_caps_active=2)
+    assert stats.host == "h3"
+    assert stats.mode == STATIC_CAP
+    assert stats.degradations == 1
+    assert stats.static_caps_active == 2
+    assert stats.breaker["state"] == "open"
+    payload = stats.to_dict()
+    assert payload["mode"] == STATIC_CAP
+    assert payload["transitions"] == [(0.0, FULL, STATIC_CAP)]
+
+
+def test_static_cap_fraction_is_validated():
+    with pytest.raises(ValueError):
+        ResiliencePolicy(static_cap_fraction=0.0)
+    with pytest.raises(ValueError):
+        ResiliencePolicy(static_cap_fraction=1.5)
+    ResiliencePolicy(static_cap_fraction=1.0)  # boundary is legal

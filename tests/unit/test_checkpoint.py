@@ -1,0 +1,92 @@
+"""Checkpoint manifest: append-only, crash-tolerant, run-scoped."""
+
+import json
+
+import pytest
+
+from repro.resilience import Checkpoint
+
+pytestmark = pytest.mark.timeout(60)
+
+
+def test_record_and_reload_same_run(tmp_path):
+    path = tmp_path / "run.manifest"
+    with Checkpoint(path, run_id="r1", total=4) as cp:
+        cp.record("k1")
+        cp.record("k2")
+        assert cp.completed("k1")
+        assert len(cp) == 2
+
+    # Reopening with the same run id adopts the recorded keys and appends.
+    with Checkpoint(path, run_id="r1", total=4) as cp:
+        assert cp.done == {"k1", "k2"}
+        cp.record("k3")
+    assert Checkpoint.load(path)["keys"] == ["k1", "k2", "k3"]
+
+
+def test_different_run_id_starts_clean(tmp_path):
+    path = tmp_path / "run.manifest"
+    with Checkpoint(path, run_id="r1") as cp:
+        cp.record("k1")
+    # A different grid / seed set / code version must not inherit keys
+    # from an unrelated run.
+    with Checkpoint(path, run_id="r2") as cp:
+        assert len(cp) == 0
+    loaded = Checkpoint.load(path)
+    assert loaded["run_id"] == "r2"
+    assert loaded["keys"] == []
+
+
+def test_record_is_idempotent(tmp_path):
+    path = tmp_path / "run.manifest"
+    with Checkpoint(path, run_id="r1") as cp:
+        cp.record("k1")
+        cp.record("k1")
+        cp.record("k1")
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2  # header + one done line
+    assert json.loads(lines[1]) == {"done": "k1"}
+
+
+def test_torn_trailing_line_is_dropped(tmp_path):
+    path = tmp_path / "run.manifest"
+    with Checkpoint(path, run_id="r1") as cp:
+        cp.record("k1")
+        cp.record("k2")
+    # Model a SIGKILL mid-append: a partial JSON line at EOF.
+    with path.open("a", encoding="utf-8") as fh:
+        fh.write('{"done": "k3')
+    loaded = Checkpoint.load(path)
+    assert loaded["keys"] == ["k1", "k2"]
+    # Reopening resumes from the intact prefix and can re-record the
+    # torn key.
+    with Checkpoint(path, run_id="r1") as cp:
+        assert cp.done == {"k1", "k2"}
+        cp.record("k3")
+    assert Checkpoint.load(path)["keys"] == ["k1", "k2", "k3"]
+
+
+def test_load_missing_or_headerless_file_is_none(tmp_path):
+    assert Checkpoint.load(tmp_path / "absent") is None
+    garbage = tmp_path / "garbage"
+    garbage.write_text("not json at all\n")
+    assert Checkpoint.load(garbage) is None
+    headerless = tmp_path / "headerless"
+    headerless.write_text('{"done": "k1"}\n')  # valid JSON, not a header
+    assert Checkpoint.load(headerless) is None
+
+
+def test_header_records_run_metadata(tmp_path):
+    path = tmp_path / "run.manifest"
+    Checkpoint(path, run_id="r9", total=17).close()
+    header = json.loads(path.read_text().splitlines()[0])
+    assert header["run_id"] == "r9"
+    assert header["total"] == 17
+
+
+def test_clear_deletes_manifest(tmp_path):
+    path = tmp_path / "run.manifest"
+    Checkpoint(path, run_id="r1").close()
+    assert Checkpoint.clear(path)
+    assert not path.exists()
+    assert not Checkpoint.clear(path)  # already gone

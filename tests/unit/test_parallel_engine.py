@@ -163,3 +163,50 @@ def test_sweep_point_values_are_finite():
     assert math.isfinite(point.victim_jct)
     assert math.isfinite(point.antagonist_ops_per_s)
     assert point.decrease_depth == pytest.approx(0.2)
+
+
+def test_supervised_sweep_reports_salvaged_points_in_stats():
+    """A point that fails every supervised attempt (invalid config) is
+    salvaged to NaN, but the hole must be visible in ``stats`` so the
+    CLI can refuse to exit 0 — a config error is not a quiet NaN."""
+    stats = {}
+    (point,) = sweeps.closed_loop_sweep(
+        betas=(0.8,), gammas=(0.005,), seeds=(3,), size_mb=0.0,
+        workers=0, supervise=True, stats=stats)
+    assert stats["salvaged"] == 1
+    assert math.isnan(point.victim_jct)
+
+
+def test_plain_sweep_fills_stats_with_zero_salvage(tmp_path):
+    stats = {}
+    sweeps.closed_loop_sweep(
+        betas=(0.8,), gammas=(0.005,), seeds=(3,), size_mb=96.0,
+        workers=0, cache_dir=str(tmp_path), stats=stats)
+    assert stats == {"executed": 1, "cached": 0, "salvaged": 0}
+
+# ----------------------------------------------------- child tracebacks
+
+@pytest.mark.parametrize("workers", [0, 2])
+def test_worker_error_carries_formatted_child_traceback(workers):
+    """The traceback text captured *inside* the worker travels with the
+    error: frames of the runner itself, not just the pool plumbing."""
+    with pytest.raises(WorkerError) as exc_info:
+        run_many([1, 2, 3, 4], _boom_on_three, workers=workers)
+    err = exc_info.value
+    assert err.child_traceback is not None
+    assert "_boom_on_three" in err.child_traceback
+    assert "ValueError: boom" in err.child_traceback
+    # The message embeds it for logs that only print str(err).
+    assert "--- worker traceback ---" in str(err)
+    assert "_boom_on_three" in str(err)
+
+
+def test_dead_worker_error_names_the_task_without_a_traceback():
+    with pytest.raises(WorkerError) as exc_info:
+        run_many([7], _kill_self, workers=1)
+    err = exc_info.value
+    # A SIGKILLed worker produces no child traceback (nothing ran to
+    # completion to format one) — the message still names the task.
+    assert err.index == 0
+    assert err.task == 7
+    assert "task 0" in str(err)

@@ -169,3 +169,84 @@ def test_put_is_atomic_no_tmp_left_behind(tmp_path):
     cache = ResultCache(tmp_path)
     cache.put(task_key(_Cfg()), "v")
     assert not list(tmp_path.rglob("*.tmp"))
+
+# -------------------------------------------------------------- concurrency
+
+def _hammer_writer(root, key, payload, stop_path):
+    """Re-write one key in a tight loop until told to stop."""
+    cache = ResultCache(root)
+    while not Path(stop_path).exists():
+        cache.put(key, payload)
+
+
+def test_concurrent_same_key_writers_never_expose_torn_entries(tmp_path):
+    """Two cross-process writers of one key: readers only ever see a
+    complete payload from one of them, never a mixture or a truncation.
+
+    Read the entry file raw (``pickle.load`` directly) rather than via
+    ``get`` — ``get`` deletes corrupt entries, which would mask exactly
+    the failure this test exists to catch.
+    """
+    import multiprocessing
+    import pickle
+    import time
+
+    key = task_key(_Cfg(name="contended"))
+    payload_a = {"writer": "a", "data": list(range(4000))}
+    payload_b = {"writer": "b", "data": list(range(4000, 8000))}
+    stop = tmp_path / "stop"
+    ctx = multiprocessing.get_context("spawn")
+    writers = [
+        ctx.Process(target=_hammer_writer,
+                    args=(str(tmp_path), key, p, str(stop)))
+        for p in (payload_a, payload_b)
+    ]
+    for w in writers:
+        w.start()
+    try:
+        cache = ResultCache(tmp_path)
+        path = cache.path_for(key)
+        seen = 0
+        deadline = time.time() + 10.0
+        while seen < 200 and time.time() < deadline:
+            try:
+                with path.open("rb") as fh:
+                    value = pickle.load(fh)
+            except FileNotFoundError:
+                continue  # no writer has landed yet
+            assert value in (payload_a, payload_b)
+            seen += 1
+        assert seen >= 200, "writers never produced readable entries"
+    finally:
+        stop.touch()
+        for w in writers:
+            w.join(timeout=10.0)
+            if w.is_alive():
+                w.kill()
+    # Neither writer leaked its temp file.
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_corrupt_helper_turns_entry_into_a_clean_miss(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(_Cfg())
+    assert not cache.corrupt(key)  # nothing to corrupt yet
+    cache.put(key, {"jct": 1.0})
+    assert cache.corrupt(key)
+    hit, _ = cache.get(key)
+    assert not hit
+    assert not cache.path_for(key).exists()  # garbage swept on read
+    cache.put(key, {"jct": 2.0})  # slot recomputable afterwards
+    assert cache.get(key) == (True, {"jct": 2.0})
+
+
+def test_clear_sweeps_orphaned_writer_temp_files(tmp_path):
+    cache = ResultCache(tmp_path)
+    key = task_key(_Cfg())
+    cache.put(key, "v")
+    # A worker killed mid-put leaves its mkstemp file behind.
+    orphan = cache.path_for(key).parent / f".{key[:8]}-dead0000.tmp"
+    orphan.write_bytes(b"partial")
+    cache.clear()
+    assert not orphan.exists()
+    assert len(cache) == 0
