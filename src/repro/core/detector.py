@@ -94,34 +94,46 @@ class InterferenceDetector:
                 cpi_std = group_std(
                     samples[m].cpi for m in present if samples[m].cpi > 0
                 )
-            result = DetectionResult(
-                app_id=app_id,
-                time=now,
-                iowait_std=iowait_std,
-                cpi_std=cpi_std,
-                io_contention=iowait_std > self.config.h_io,
-                cpu_contention=cpi_std > self.config.h_cpi,
-            )
-            results[app_id] = result
-            sig = self.signals.setdefault(
-                app_id,
-                {
-                    "io": TimeSeries(name=f"{app_id}.iowait_std"),
-                    "cpi": TimeSeries(name=f"{app_id}.cpi_std"),
-                },
-            )
-            sig["io"].append(now, iowait_std)
-            sig["cpi"].append(now, cpi_std)
-            roll = self._rolling.setdefault(
-                app_id,
-                {
-                    "io": RollingStats(self.config.corr_window),
-                    "cpi": RollingStats(self.config.corr_window),
-                },
-            )
-            roll["io"].push(iowait_std)
-            roll["cpi"].push(cpi_std)
+            results[app_id] = self.record(now, app_id, iowait_std, cpi_std)
         return results
+
+    def record(
+        self, now: float, app_id: str, iowait_std: float, cpi_std: float
+    ) -> DetectionResult:
+        """Threshold one app's deviations and append its signal history.
+
+        The shared tail of :meth:`evaluate`: a parent absorbing a pool
+        worker's :class:`~repro.core.verdict.ControlVerdict` replays this
+        with the worker-computed deviations, keeping both replicas of the
+        detector state in lockstep.
+        """
+        result = DetectionResult(
+            app_id=app_id,
+            time=now,
+            iowait_std=iowait_std,
+            cpi_std=cpi_std,
+            io_contention=iowait_std > self.config.h_io,
+            cpu_contention=cpi_std > self.config.h_cpi,
+        )
+        sig = self.signals.setdefault(
+            app_id,
+            {
+                "io": TimeSeries(name=f"{app_id}.iowait_std"),
+                "cpi": TimeSeries(name=f"{app_id}.cpi_std"),
+            },
+        )
+        sig["io"].append(now, iowait_std)
+        sig["cpi"].append(now, cpi_std)
+        roll = self._rolling.setdefault(
+            app_id,
+            {
+                "io": RollingStats(self.config.corr_window),
+                "cpi": RollingStats(self.config.corr_window),
+            },
+        )
+        roll["io"].push(iowait_std)
+        roll["cpi"].push(cpi_std)
+        return result
 
     def signal(self, app_id: str, kind: str) -> TimeSeries:
         """Deviation history: ``kind`` is ``"io"`` or ``"cpi"``."""

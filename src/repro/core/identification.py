@@ -168,6 +168,24 @@ class AntagonistIdentifier:
                 antagonists=antagonists,
             )
         correlations = self._scores(resource, victim_signal, suspects)
+        return IdentificationResult(
+            resource=resource,
+            correlations=correlations,
+            antagonists=self.judge(resource, correlations, now),
+        )
+
+    def judge(
+        self, resource: str, correlations: Mapping[str, float], now: float
+    ) -> Set[str]:
+        """Threshold + TTL pass over already-computed correlations.
+
+        The state-mutating tail of :meth:`identify`: a parent absorbing a
+        pool worker's verdict replays this with the worker's scores, so
+        ``_last_hit`` stays in lockstep across the replicas.  Antagonists
+        are always a subset of ``correlations`` — a VM outside the
+        current suspect set is never resurrected by its TTL alone.
+        """
+        antagonists: Set[str] = set()
         for vm, r in correlations.items():
             key = (resource, vm)
             if r >= self.config.corr_threshold:
@@ -177,9 +195,7 @@ class AntagonistIdentifier:
             last = self._last_hit.get(key)
             if last is not None and now - last <= self.config.antagonist_ttl_s:
                 antagonists.add(vm)
-        return IdentificationResult(
-            resource=resource, correlations=correlations, antagonists=antagonists
-        )
+        return antagonists
 
     def forget(self, vm: str) -> None:
         """Drop TTL and cached-alignment state for a departed VM."""

@@ -36,7 +36,8 @@ from repro.core.config import PerfCloudConfig
 from repro.core.cubic import CapState, CubicController
 from repro.core.detector import InterferenceDetector
 from repro.core.identification import AntagonistIdentifier
-from repro.core.monitor import PerformanceMonitor, VmSample
+from repro.core.monitor import PLANE_METRICS, PerformanceMonitor, VmSample
+from repro.core.verdict import ComputeTicket, ControlVerdict, compute_verdict
 from repro.metrics.timeseries import TimeSeries
 from repro.resilience.breaker import GuardedConnection
 from repro.resilience.ladder import (
@@ -50,7 +51,7 @@ from repro.resilience.ladder import (
 from repro.sim.engine import Simulator
 from repro.virt.libvirt_api import VCPU_PERIOD_US, Connection, Domain, LibvirtError
 
-__all__ = ["ControlPlaneStats", "NodeManager"]
+__all__ = ["ControlPlaneStats", "IntervalContext", "NodeManager"]
 
 
 @dataclass
@@ -81,6 +82,16 @@ class ControlPlaneStats:
     cubic_states_dropped: int = 0
 
 
+@dataclass
+class IntervalContext:
+    """Parent-side carry between the begin and complete interval halves."""
+
+    now: float
+    mode: str
+    samples: Dict[str, VmSample]
+    ticket: ComputeTicket
+
+
 class NodeManager:
     """One decentralized PerfCloud agent, bound to one physical server."""
 
@@ -96,6 +107,7 @@ class NodeManager:
         fault_injector=None,
         scheduler=None,
         resilience: Optional[ResiliencePolicy] = None,
+        shared_plane: bool = False,
     ) -> None:
         self.sim = sim
         self.host_name = host_name
@@ -118,7 +130,13 @@ class NodeManager:
         #: Static fallback caps by (vm_name, resource): absolute cap, or
         #: ``None`` once marked for release (cleared by reconciliation).
         self.static_caps: Dict[Tuple[str, str], Optional[float]] = {}
-        self.monitor = PerformanceMonitor(self.conn, self.config)
+        plane = None
+        if shared_plane:
+            # Shared-memory rings so pool workers read columns zero-copy.
+            from repro.metrics.plane import SharedMetricPlane
+
+            plane = SharedMetricPlane(PLANE_METRICS, name_tag=host_name)
+        self.monitor = PerformanceMonitor(self.conn, self.config, plane=plane)
         self.detector = InterferenceDetector(self.config)
         self.identifier = AntagonistIdentifier(self.config)
         #: Cap-control law; Eq. 1 CUBIC unless an alternative is injected
@@ -170,9 +188,18 @@ class NodeManager:
         return self._task is not None and not self._task.stopped
 
     def control_interval(self) -> None:
-        """One pass of Algorithm 1; a degraded facade never kills the task."""
+        """One pass of Algorithm 1; a degraded facade never kills the task.
+
+        The serial composition of the two interval halves: the same
+        ``begin → compute → complete`` sequence the parallel coordinator
+        runs, with the compute half executed in-process (state already
+        mutated, so the verdict is applied without absorption).
+        """
         try:
-            self._run_interval()
+            ctx = self._begin()
+            if ctx is not None:
+                verdict = self._compute_ctx(ctx)
+                self._complete(ctx, verdict, absorb=False)
         except LibvirtError:
             # Every libvirt call inside the interval is individually
             # guarded; this is the last line of defence keeping the
@@ -181,7 +208,49 @@ class NodeManager:
             return
         self.stats.intervals_completed += 1
 
-    def _run_interval(self) -> None:
+    # -------------------------------------------------------- interval halves
+    def begin_interval(self, epoch: int = 0) -> Optional[IntervalContext]:
+        """Phase A of a coordinated tick: sample + inventory snapshot.
+
+        Returns ``None`` when the interval needs no compute half (the
+        monitoring rung, or no high-priority application) — the interval
+        is then already fully accounted.  Otherwise the returned context
+        carries the :class:`~repro.core.verdict.ComputeTicket` to hand a
+        pool worker and everything :meth:`complete_interval` needs.
+        """
+        try:
+            ctx = self._begin(epoch)
+        except LibvirtError:
+            self.stats.intervals_aborted += 1
+            return None
+        if ctx is None:
+            self.stats.intervals_completed += 1
+        return ctx
+
+    def complete_interval(
+        self, ctx: IntervalContext, verdict: ControlVerdict, *,
+        absorb: bool = True,
+    ) -> None:
+        """Phase C: apply a verdict (actuation + accounting).
+
+        ``absorb=True`` replays the verdict's deviations and scores into
+        this agent's detector/identifier (the verdict was computed on a
+        worker's replica); ``absorb=False`` means the compute ran on this
+        very agent and the state is already mutated.
+        """
+        try:
+            self._complete(ctx, verdict, absorb=absorb)
+        except LibvirtError:
+            self.stats.intervals_aborted += 1
+            return
+        self.stats.intervals_completed += 1
+
+    def compute_and_complete(self, ctx: IntervalContext) -> None:
+        """Serial fallback for one ticket: compute in-process, then apply."""
+        verdict = self._compute_ctx(ctx)
+        self.complete_interval(ctx, verdict, absorb=False)
+
+    def _begin(self, epoch: int = 0) -> Optional[IntervalContext]:
         now = self.sim.now
         mode = self._update_mode(now)
         instances = self.cloud.instances_on_host(self.host_name)
@@ -194,7 +263,7 @@ class NodeManager:
             # Lowest rung: keep observing (best-effort — the breaker may
             # refuse even sampling), take no control action at all.
             self.stats.monitor_intervals += 1
-            return
+            return None
 
         app_members: Dict[str, List[str]] = {}
         for info in high:
@@ -205,38 +274,72 @@ class NodeManager:
             )
         if not app_members:
             self._finish_interval(now, mode)
-            return
+            return None
 
-        detections = self.detector.evaluate(
-            now, samples, app_members, plane=self.monitor.plane
+        ticket = ComputeTicket(
+            host=self.host_name,
+            epoch=epoch,
+            now=now,
+            app_members=tuple(
+                (app, tuple(members)) for app, members in app_members.items()
+            ),
+            suspects=tuple(
+                i.name for i in low if i.name in self.monitor.history
+            ),
+            do_identify=bool(low),
+            rows=self.monitor.plane.row_mapping(),
         )
-        if not low:
+        return IntervalContext(now=now, mode=mode, samples=samples, ticket=ticket)
+
+    def _compute_ctx(self, ctx: IntervalContext) -> ControlVerdict:
+        """Run the compute half on this agent's own (live) state."""
+        history = self.monitor.history
+        return compute_verdict(
+            self.detector,
+            self.identifier,
+            self.monitor.plane,
+            ctx.ticket,
+            ctx.samples,
+            lambda name, metric: history[name][metric],
+            self.config,
+        )
+
+    def _complete(
+        self, ctx: IntervalContext, verdict: ControlVerdict, *, absorb: bool
+    ) -> None:
+        now, mode = ctx.now, ctx.mode
+        if absorb:
+            for app_id, iowait_std, cpi_std in verdict.detections:
+                self.detector.record(now, app_id, iowait_std, cpi_std)
+        if not verdict.do_identify:
             # Nothing to identify or throttle; detection history still
             # accumulates (the paper's "running alone" baselines).
             self._finish_interval(now, mode)
             return
 
-        io_contention = any(d.io_contention for d in detections.values())
-        cpu_contention = any(d.cpu_contention for d in detections.values())
+        io_contention = any(
+            s > self.config.h_io for _, s, _ in verdict.detections
+        )
+        cpu_contention = any(
+            s > self.config.h_cpi for _, _, s in verdict.detections
+        )
 
         io_antagonists: Set[str] = set()
         cpu_antagonists: Set[str] = set()
-        for app_id in app_members:
-            io_res = self.identifier.identify(
-                "io",
-                self.detector.signal(app_id, "io"),
-                self._suspect_series(low, "io_bytes_ps"),
-                now,
-            )
-            cpu_res = self.identifier.identify(
-                "cpu",
-                self.detector.signal(app_id, "cpi"),
-                self._suspect_series(low, "llc_miss_rate"),
-                now,
-            )
-            io_antagonists |= io_res.antagonists
-            cpu_antagonists |= cpu_res.antagonists
+        for ident in verdict.identifications:
+            if absorb:
+                ants = (
+                    self.identifier.judge(ident.resource, ident.correlations, now)
+                    if ident.ran else set()
+                )
+            else:
+                ants = ident.antagonists
+            if ident.resource == "io":
+                io_antagonists |= ants
+            else:
+                cpu_antagonists |= ants
 
+        samples = ctx.samples
         if mode == STATIC_CAP:
             # Degraded rung: detection and identification still run, but
             # antagonists get the paper's static fallback cap instead of
@@ -374,14 +477,6 @@ class NodeManager:
                 continue  # channel still degraded; keep the entry
 
     # ------------------------------------------------------------- internals
-    def _suspect_series(self, low, metric: str) -> Dict[str, TimeSeries]:
-        out: Dict[str, TimeSeries] = {}
-        for info in low:
-            hist = self.monitor.history.get(info.name)
-            if hist is not None:
-                out[info.name] = hist[metric]
-        return out
-
     def _control(
         self,
         resource: str,

@@ -38,6 +38,7 @@ class PerfCloud:
         controller_factory=None,
         fault_injector=None,
         resilience: Optional[ResiliencePolicy] = None,
+        shard_workers: int = 0,
     ) -> None:
         self.sim = sim
         self.cloud = cloud
@@ -49,9 +50,19 @@ class PerfCloud:
         #: Optional :class:`~repro.resilience.ladder.ResiliencePolicy`
         #: giving every agent a circuit breaker + degradation ladder.
         self.resilience = resilience
+        # A fault injector draws from per-call fault streams, so the
+        # phase-A/phase-C call reordering of a parallel tick would shift
+        # its draws relative to the serial schedule; chaos runs therefore
+        # force the (byte-identical) serial path.
+        if fault_injector is not None:
+            shard_workers = 0
+        #: Compute-half processes per coordinator tick (0 = in-process).
+        self.shard_workers = int(shard_workers)
         #: One coordinator tick steps every agent as an independent shard
         #: (creation order), replacing per-host periodic events.
-        self.control_plane = ShardedControlPlane(sim, self.config.interval_s)
+        self.control_plane = ShardedControlPlane(
+            sim, self.config.interval_s, workers=self.shard_workers
+        )
         self.node_managers: Dict[str, NodeManager] = {}
         for host in hosts if hosts is not None else cloud.hosts():
             self.node_managers[host] = NodeManager(
@@ -60,6 +71,7 @@ class PerfCloud:
                 fault_injector=fault_injector,
                 scheduler=self.control_plane,
                 resilience=resilience,
+                shared_plane=self.shard_workers > 0,
             )
 
     def add_host(self, host_name: str) -> NodeManager:
@@ -84,6 +96,24 @@ class PerfCloud:
         """Halt every agent's control loop."""
         for nm in self.node_managers.values():
             nm.stop()
+
+    def close(self) -> None:
+        """Stop agents and release pool + shared-memory resources.
+
+        Idempotent.  Shared planes unlink their ``/dev/shm`` segments
+        here; runs that never call it are covered by the segments'
+        atexit hooks, and SIGKILLed runs by the stale-segment sweep.
+        """
+        self.stop()
+        self.control_plane.shutdown()
+        for nm in self.node_managers.values():
+            nm.monitor.plane.close()
+
+    def __enter__(self) -> "PerfCloud":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ----------------------------------------------------------------- query
     def throttle_events(self) -> List[tuple]:

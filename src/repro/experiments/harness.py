@@ -114,15 +114,18 @@ class Testbed:
         controller_factory=None,
         fault_injector=None,
         resilience=None,
+        shard_workers: int = 0,
     ) -> PerfCloud:
         """Deploy one node-manager agent per host (optionally with an
         alternative cap-control law for ablations, a fault injector
-        between the agents and their libvirt facades, and/or a
-        resilience policy giving each agent a circuit breaker and
-        degradation ladder)."""
+        between the agents and their libvirt facades, a resilience
+        policy giving each agent a circuit breaker and degradation
+        ladder, and/or ``shard_workers`` compute processes stepping the
+        per-host control chains in parallel — byte-identical to 0)."""
         self.perfcloud = PerfCloud(
             self.sim, self.cloud, config, controller_factory=controller_factory,
             fault_injector=fault_injector, resilience=resilience,
+            shard_workers=shard_workers,
         )
         return self.perfcloud
 

@@ -1,0 +1,172 @@
+"""Raw shared-memory blocks for cross-process MetricPlane storage.
+
+:class:`ShmBlock` wraps one file in ``/dev/shm`` (tmpfs) mapped with
+``mmap.MAP_SHARED`` — the storage behind
+:class:`~repro.metrics.plane.SharedMetricPlane`.  We deliberately use
+raw files instead of :mod:`multiprocessing.shared_memory`:
+
+* the stdlib resource tracker unlinks segments when *any* attached
+  process exits, which is exactly wrong for fork-pool workers that come
+  and go while the parent keeps writing;
+* raw files need no tracker handshake, so a block can be attached from
+  a child that was forked *before* the block existed (late plane
+  generations after ring growth).
+
+Lifecycle rules (see docs/PERFORMANCE.md):
+
+* only the **creating process** ever unlinks a block — fork-inherited
+  and reattached copies close their mapping and leave the file alone;
+* creators register an :mod:`atexit` hook (and support ``with``), so a
+  normal or excepting exit leaves ``/dev/shm`` clean;
+* a SIGKILLed run cannot run ``atexit`` — every block name embeds the
+  creator's PID, and :func:`sweep_stale_segments` (invoked whenever a
+  new shared plane is created, and by the chaos kill drill) unlinks any
+  block whose creator is no longer alive.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import mmap
+import os
+import re
+import weakref
+from typing import List, Optional
+
+__all__ = ["ShmBlock", "shm_dir", "next_segment_name", "sweep_stale_segments"]
+
+#: Block names: repro-shm-<creator pid>-<per-process counter>-<tag>.
+_NAME_RE = re.compile(r"^repro-shm-(\d+)-\d+-[\w.-]*$")
+
+_counter = itertools.count()
+
+
+def shm_dir() -> str:
+    """Directory backing the blocks (``/dev/shm`` on Linux)."""
+    path = "/dev/shm"
+    if os.path.isdir(path):
+        return path
+    import tempfile  # non-Linux fallback: plain tmp files, still mmap-able
+
+    return tempfile.gettempdir()
+
+
+def next_segment_name(tag: str = "") -> str:
+    """A fresh block name encoding this process as the creator."""
+    tag = re.sub(r"[^\w.-]", "-", tag)[:48]
+    return f"repro-shm-{os.getpid()}-{next(_counter)}-{tag}"
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    except OSError:  # pragma: no cover - conservative: assume alive
+        return True
+    return True
+
+
+def sweep_stale_segments(directory: Optional[str] = None) -> List[str]:
+    """Unlink blocks whose creator process is dead; returns their names.
+
+    Safe to run concurrently with other sweeps and with live runs: only
+    names matching the repro pattern with a dead creator PID are
+    touched, and a block someone else already removed is skipped.
+    """
+    directory = directory or shm_dir()
+    removed: List[str] = []
+    try:
+        entries = os.listdir(directory)
+    except OSError:  # pragma: no cover - directory vanished
+        return removed
+    for entry in entries:
+        m = _NAME_RE.match(entry)
+        if m is None or _pid_alive(int(m.group(1))):
+            continue
+        try:
+            os.unlink(os.path.join(directory, entry))
+        except OSError:  # pragma: no cover - lost the unlink race
+            continue
+        removed.append(entry)
+    return removed
+
+
+def _atexit_close(ref: "weakref.ref[ShmBlock]") -> None:
+    block = ref()
+    if block is not None:
+        block.close()
+
+
+class ShmBlock:
+    """One mmap-shared byte buffer with explicit lifetime.
+
+    ``create=True`` allocates (and owns) the file; ``create=False``
+    attaches to an existing block by name.  The buffer is exposed as
+    ``.buf`` (an ``mmap`` object — valid ``np.frombuffer`` target).
+    """
+
+    def __init__(self, name: str, size: int, *, create: bool,
+                 directory: Optional[str] = None) -> None:
+        if size <= 0:
+            raise ValueError(f"size must be positive, got {size!r}")
+        self.name = name
+        self.size = int(size)
+        self.path = os.path.join(directory or shm_dir(), name)
+        self._creator_pid = os.getpid() if create else None
+        flags = os.O_RDWR | (os.O_CREAT | os.O_EXCL if create else 0)
+        fd = os.open(self.path, flags, 0o600)
+        try:
+            if create:
+                os.ftruncate(fd, self.size)
+            self.buf: Optional[mmap.mmap] = mmap.mmap(fd, self.size)
+        except BaseException:
+            os.close(fd)
+            if create:
+                try:
+                    os.unlink(self.path)
+                except OSError:
+                    pass
+            raise
+        os.close(fd)
+        if create:
+            # Weakref so atexit never keeps a dead block's memory alive.
+            atexit.register(_atexit_close, weakref.ref(self))
+
+    @property
+    def is_creator(self) -> bool:
+        """Whether *this process* created (and therefore unlinks) the block."""
+        return self._creator_pid == os.getpid()
+
+    def close(self) -> None:
+        """Release the mapping; the creator also unlinks the file.
+
+        Idempotent, and safe in fork children: an inherited block's
+        ``_creator_pid`` is the parent's, so the child only unmaps.
+        """
+        if self.buf is not None:
+            try:
+                self.buf.close()
+            except BufferError:  # pragma: no cover - numpy view still alive
+                pass
+            else:
+                self.buf = None
+        if self.is_creator:
+            self._creator_pid = None
+            try:
+                os.unlink(self.path)
+            except OSError:
+                pass
+
+    def __enter__(self) -> "ShmBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self.buf is None else f"{self.size}B"
+        return f"ShmBlock({self.name!r}, {state})"

@@ -214,8 +214,14 @@ def _submit_traffic(requests, jobtracker, spark, job_slots, sim) -> None:
                             name=f"submit-{req.benchmark}")
 
 
-def run_world(world: WorldDef) -> Dict[str, Any]:
-    """Execute one world definition; return its outcome metrics."""
+def run_world(world: WorldDef, *, shard_workers: int = 0) -> Dict[str, Any]:
+    """Execute one world definition; return its outcome metrics.
+
+    ``shard_workers`` fans each control interval's compute half across a
+    process pool — byte-identical to 0 (and forced back to 0 whenever
+    the world wires in a fault injector; see
+    :class:`~repro.core.perfcloud.PerfCloud`).
+    """
     wl = world.workload
     sim = Simulator(dt=world.dt, seed=world.seed)
     cluster = Cluster(sim)
@@ -313,7 +319,8 @@ def run_world(world: WorldDef) -> Dict[str, Any]:
     perfcloud: Optional[PerfCloud] = None
     if world.policy.kind == "perfcloud":
         perfcloud = PerfCloud(sim, cloud, world.policy.build_config(),
-                              fault_injector=injector)
+                              fault_injector=injector,
+                              shard_workers=shard_workers)
 
     # ------------------------------------------------------------------ jobs
     job_slots: List[Dict[str, Any]] = []
@@ -405,4 +412,6 @@ def run_world(world: WorldDef) -> Dict[str, Any]:
             "faults_injected": int(sum(counts.values())),
             "fault_trace_digest": injector.digest(),
         })
+    if perfcloud is not None:
+        perfcloud.close()
     return metrics

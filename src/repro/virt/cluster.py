@@ -34,6 +34,11 @@ class Cluster:
         self.default_spec = default_spec
         self.hosts: Dict[str, PhysicalHost] = {}
         self.vms: Dict[str, VM] = {}
+        #: Per-host placement index, each inner dict in *global boot
+        #: order* — so ``vms_on_host`` stays O(VMs on that host) at
+        #: 1,000-host scale while returning exactly the order the old
+        #: full scan over ``self.vms`` produced.
+        self._placement: Dict[str, Dict[str, VM]] = {}
         self.fabric = NetworkFabric({})
         sim.add_stepper(self)
         #: Count of fluid steps executed (diagnostics).
@@ -46,6 +51,7 @@ class Cluster:
             raise ValueError(f"host {name!r} already exists")
         host = PhysicalHost(name, spec or self.default_spec, self.sim.rng)
         self.hosts[name] = host
+        self._placement[name] = {}
         self.fabric.add_host(name, host.spec.nic.bytes_per_s)
         return host
 
@@ -72,12 +78,14 @@ class Cluster:
         vm.set_host(host_name, host.spec.freq_hz, self.sim.now)
         host.attach(vm)
         self.vms[name] = vm
+        self._placement[host_name][name] = vm
         return vm
 
     def destroy_vm(self, name: str) -> None:
         """Detach and delete a VM (its counters vanish with it)."""
         vm = self._vm(name)
         self._host(vm.host_name).detach(name)
+        self._placement[vm.host_name].pop(name, None)
         del self.vms[name]
 
     def migrate_vm(self, name: str, new_host: str) -> None:
@@ -87,13 +95,20 @@ class Cluster:
             return
         target = self._host(new_host)
         self._host(vm.host_name).detach(name)
+        self._placement[vm.host_name].pop(name, None)
         target.attach(vm)
         vm.set_host(new_host, target.spec.freq_hz, vm.boot_time)
+        # Rebuild the target index in global boot order (migrations are
+        # rare; the rebuild keeps vms_on_host identical to the old full
+        # scan, where an arriving VM slots by boot order, not by arrival).
+        self._placement[new_host] = {
+            n: v for n, v in self.vms.items() if v.host_name == new_host
+        }
 
     def vms_on_host(self, host_name: str) -> List[VM]:
-        """All VMs currently placed on ``host_name``."""
+        """All VMs currently placed on ``host_name`` (global boot order)."""
         self._host(host_name)
-        return [vm for vm in self.vms.values() if vm.host_name == host_name]
+        return list(self._placement[host_name].values())
 
     # ------------------------------------------------------------------ step
     def step(self, dt: float) -> None:

@@ -1,0 +1,75 @@
+"""Integration: the pooled control plane under worker loss.
+
+The property suite (`tests/property/test_shm_plane_equivalence.py`)
+establishes serial == pooled on healthy random worlds; these tests add
+the chaos dimension — a pool worker SIGKILLed mid-run must be respawned
+from the lockstep parent replica and the run must still finish
+byte-identical to serial, with nothing left behind in ``/dev/shm``.
+"""
+
+import glob
+import os
+import signal
+
+from repro.experiments.harness import TestbedConfig, build_testbed
+from repro.metrics.shm import shm_dir
+
+
+def _fingerprint(pc) -> tuple:
+    out = []
+    for host in sorted(pc.node_managers):
+        nm = pc.node_managers[host]
+        sig = nm.detector.signal("app", "io")
+        cpi = nm.detector.signal("app", "cpi")
+        out.append((
+            host,
+            tuple(nm.actions),
+            tuple(sig.times().tolist()), tuple(sig.values().tolist()),
+            tuple(cpi.times().tolist()), tuple(cpi.values().tolist()),
+            tuple(sorted(nm.survival_summary().items())),
+        ))
+    return tuple(out)
+
+
+def _repro_shm_segments() -> list:
+    return glob.glob(os.path.join(shm_dir(), "repro-shm-*"))
+
+
+def _build(seed: int = 11):
+    return build_testbed(TestbedConfig(
+        seed=seed, num_hosts=2, num_workers=4, framework="mapreduce",
+        antagonists=(("fio", 0), ("stream", 1)),
+    ))
+
+
+def test_worker_sigkill_midrun_stays_byte_identical():
+    before = set(_repro_shm_segments())
+
+    serial_bed = _build()
+    serial_pc = serial_bed.deploy_perfcloud()
+    serial_bed.run(240.0)
+    want = _fingerprint(serial_pc)
+    serial_pc.close()
+
+    bed = _build()
+    pc = bed.deploy_perfcloud(shard_workers=2)
+    bed.run(120.0)
+
+    pool = pc.control_plane._pool
+    assert pool is not None, "pooled run never started its pool"
+    victim = pool._slots[0].proc
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=5.0)
+
+    bed.run(120.0)
+    got = _fingerprint(pc)
+
+    assert got == want
+    assert pool.worker_deaths >= 1
+    assert pool.respawns >= 1
+    assert not pool.failed
+    # The tick that found the corpse recomputed its tickets in-parent.
+    assert pc.control_plane.timings["fallback_tickets"] >= 1
+
+    pc.close()
+    assert set(_repro_shm_segments()) <= before

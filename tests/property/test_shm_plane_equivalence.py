@@ -1,0 +1,210 @@
+"""Property tests for the shared-memory plane and the parallel tick.
+
+Three exact-equivalence oracles:
+
+* a :class:`SharedMetricPlane` reader attached through a picklable
+  :class:`PlaneHandle` must answer the whole ``PlaneSeries`` read API
+  identically to an in-process :class:`MetricPlane` fed the same stream
+  — across ring-buffer wrap, column eviction, pruning, VM removal and
+  storage growth (row doubling + generation reallocation);
+* the seqlock read protocol must survive a torn/late epoch: a reader
+  asking for an epoch the writer has not published yet retries until the
+  header carries it, and raises rather than returning a stale view once
+  the retry budget is exhausted;
+* a ``shard_workers=2`` deployment must produce byte-identical control
+  outcomes (actions, detector signals, survival counters) to the serial
+  path across randomized small worlds — the coordinator's merge order,
+  not worker scheduling, defines the result.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.plane import (
+    _H_EPOCH,
+    MetricPlane,
+    SharedMetricPlane,
+)
+
+_METRICS = ("m0", "m1")
+_VM_POOL = tuple(f"vm{i}" for i in range(9))
+
+_values = st.one_of(
+    st.sampled_from([0.0, 1.0, -1.0, 0.5]),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+
+#: One interval: per-VM cells (None = VM absent this interval), an
+#: optional prune, and an optional VM removal.  Nine possible VMs over a
+#: plane whose row storage starts smaller forces row-doubling
+#: reallocations; a small capacity forces ring wrap and eviction.
+_shm_steps = st.lists(
+    st.tuples(
+        st.sampled_from([0.25, 5.0]),  # interval length
+        st.lists(st.one_of(st.none(), _values),
+                 min_size=len(_VM_POOL), max_size=len(_VM_POOL)),
+        st.booleans(),  # prune_before(t - 10) this interval?
+        st.one_of(st.none(), st.sampled_from(_VM_POOL)),  # remove_vm
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(steps=_shm_steps, capacity=st.sampled_from([2, 3, 7, 64]))
+def test_shm_reader_matches_in_process_plane(steps, capacity):
+    """Reattached shm reads == in-process reads, sample for sample."""
+    oracle = MetricPlane(_METRICS, capacity=capacity)
+    writer = SharedMetricPlane(_METRICS, capacity=capacity, name_tag="prop")
+    try:
+        reader = writer.handle().attach()
+        try:
+            t = 0.0
+            for epoch, (dt, cells, do_prune, removal) in enumerate(steps, 1):
+                t += dt
+                columns = {
+                    vm: {m: v for m in _METRICS}
+                    for vm, v in zip(_VM_POOL, cells)
+                    if v is not None
+                }
+                if columns:
+                    oracle.ingest(t, columns)
+                    writer.ingest(t, columns)
+                if do_prune:
+                    oracle.prune_before(t - 10.0)
+                    writer.prune_before(t - 10.0)
+                if removal is not None and removal in writer.vms():
+                    oracle.remove_vm(removal)
+                    writer.remove_vm(removal)
+                writer.publish(epoch)
+                reader.refresh_worker_view(writer.row_mapping(), epoch)
+
+                assert reader.vms() == oracle.vms()
+                for m in _METRICS:
+                    assert (reader.latest(m, _VM_POOL)
+                            == oracle.latest(m, _VM_POOL))
+                for vm in _VM_POOL:
+                    for m in _METRICS:
+                        want = oracle.series(vm, m)
+                        got = reader.series(vm, m)
+                        assert np.array_equal(got.times(), want.times())
+                        assert np.array_equal(got.values(), want.values())
+                        assert got.last_time == want.last_time
+                        assert got.last_value == want.last_value
+                # Worker-mode drop accounting is plane-global: any
+                # per-series eviction must be visible through it (the
+                # fast-path reuse guard in compute_verdict keys off it).
+                assert writer.dropped_total == oracle.dropped_total
+                assert reader.dropped_total == oracle.dropped_total
+        finally:
+            reader.close()
+    finally:
+        writer.close()
+
+
+def test_shm_reader_retries_until_epoch_published():
+    """A reader racing the writer's publish sees the new epoch, not a
+    torn older view, and fails loudly when the epoch never lands."""
+    import threading
+
+    writer = SharedMetricPlane(_METRICS, name_tag="torn")
+    try:
+        writer.ingest(5.0, {"vmA": {"m0": 1.0, "m1": 2.0}})
+        writer.publish(1)
+        reader = writer.handle().attach()
+        try:
+            rows = writer.row_mapping()
+            # Epoch 2 is not out yet: a bounded read must give up...
+            try:
+                reader.refresh_worker_view(rows, 2, retries=3)
+            except RuntimeError:
+                pass
+            else:
+                raise AssertionError("stale epoch read did not raise")
+
+            # ...and a slow writer publishing mid-retry must be caught.
+            def late_publish():
+                writer.ingest(10.0, {"vmA": {"m0": 3.0, "m1": 4.0}})
+                writer.publish(2)
+
+            timer = threading.Timer(0.02, late_publish)
+            timer.start()
+            try:
+                reader.refresh_worker_view(rows, 2, retries=200)
+            finally:
+                timer.join()
+            assert reader.series("vmA", "m0").last_value == 3.0
+        finally:
+            reader.close()
+    finally:
+        writer.close()
+
+
+def test_worker_mode_plane_is_read_only():
+    writer = SharedMetricPlane(_METRICS, name_tag="ro")
+    try:
+        reader = writer.handle().attach()
+        try:
+            for call in (
+                lambda: reader.ingest(1.0, {"vmA": {"m0": 1.0}}),
+                lambda: reader.prune_before(0.5),
+                lambda: reader.remove_vm("vmA"),
+            ):
+                try:
+                    call()
+                except RuntimeError:
+                    continue
+                raise AssertionError("worker-mode write did not raise")
+        finally:
+            reader.close()
+    finally:
+        writer.close()
+
+
+# ------------------------------------------------------- parallel ticks
+
+def _world_outcome(seed, num_hosts, antagonists, shard_workers):
+    from repro.experiments.harness import TestbedConfig, build_testbed
+
+    testbed = build_testbed(
+        TestbedConfig(seed=seed, num_hosts=num_hosts,
+                      num_workers=2 * num_hosts, framework="mapreduce",
+                      antagonists=antagonists)
+    )
+    pc = testbed.deploy_perfcloud(shard_workers=shard_workers)
+    testbed.run(220.0)
+    out = []
+    for host in sorted(pc.node_managers):
+        nm = pc.node_managers[host]
+        sig = nm.detector.signal("app", "io")
+        cpi = nm.detector.signal("app", "cpi")
+        out.append((
+            host,
+            tuple(nm.actions),
+            tuple(sig.times().tolist()), tuple(sig.values().tolist()),
+            tuple(cpi.times().tolist()), tuple(cpi.values().tolist()),
+            tuple(sorted(nm.survival_summary().items())),
+            tuple(sorted(nm.identifier._last_hit.items())),
+        ))
+    pc.close()
+    return tuple(out)
+
+
+@settings(max_examples=5, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_hosts=st.integers(min_value=1, max_value=3),
+    ants=st.lists(
+        st.tuples(st.sampled_from(("fio", "stream", "fio-episodic")),
+                  st.one_of(st.none(), st.integers(0, 2))),
+        min_size=0, max_size=3,
+    ),
+)
+def test_parallel_ticks_byte_identical_to_serial(seed, num_hosts, ants):
+    """shard_workers=2 == serial on randomized fig11-style worlds."""
+    antagonists = tuple(ants)
+    serial = _world_outcome(seed, num_hosts, antagonists, 0)
+    pooled = _world_outcome(seed, num_hosts, antagonists, 2)
+    assert serial == pooled
