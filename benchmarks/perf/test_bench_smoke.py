@@ -47,6 +47,25 @@ def test_rolling_stats_speedup_floor(micro_metrics):
     assert micro_metrics["micro.rolling.speedup_vs_naive"] >= 3.0
 
 
+def test_obs_overhead_under_three_percent(micro_metrics):
+    # Acceptance criterion for the observability plane: with the incident
+    # ledger and span recorder both on, a full fig9 closed-loop run may
+    # cost at most 3% more wall-clock than the telemetry-off run (which
+    # bench_obs separately asserts is byte-identical in its outputs).
+    # Shared runners see multi-second noise bursts (CPU steal) that can
+    # inflate every estimator of one measurement at once, so a reading
+    # over the gate is re-measured before failing: a real regression
+    # fails every attempt, a burst does not survive three.
+    from repro.bench.micro import bench_obs
+
+    ratio = micro_metrics["micro.obs.overhead_ratio"]
+    attempts = [ratio]
+    while ratio >= 1.03 and len(attempts) < 3:
+        ratio = bench_obs()["obs.overhead_ratio"]
+        attempts.append(ratio)
+    assert ratio < 1.03, f"telemetry overhead over 3% in {attempts}"
+
+
 def test_micro_metrics_are_positive_finite(micro_metrics):
     for name, value in micro_metrics.items():
         assert value > 0.0, name

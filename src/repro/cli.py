@@ -12,6 +12,8 @@
     python -m repro bench --compare      # perf suite vs committed baseline
     python -m repro scenarios            # scored acceptance corpus
     python -m repro scenarios --quick    # the quick-tagged subset
+    python -m repro obs export           # telemetry exposition of a run
+    python -m repro obs export --report  # ...its incident report
     python -m repro demo                 # the quickstart scenario
 
 Each figure command accepts ``--seed`` and prints the same tables the
@@ -316,6 +318,53 @@ def _add_resilience_args(p: argparse.ArgumentParser) -> None:
                         "finished tasks (requires --cache-dir)")
 
 
+def _run_obs(args: argparse.Namespace) -> int:
+    """Run a telemetry-on mitigation scenario and export what it saw."""
+    from repro import teragen, terasort
+    from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+    from repro.obs import Telemetry, render_text, snapshot
+
+    telemetry = Telemetry(ledger=True, spans=True)
+    bed = build_testbed(TestbedConfig(
+        seed=args.seed, num_workers=6, framework="mapreduce",
+        antagonists=(("fio", None),),
+    ))
+    pc = bed.deploy_perfcloud(shard_workers=args.shard_workers,
+                              telemetry=telemetry)
+    job = bed.jobtracker.submit(terasort(), teragen(args.size_mb),
+                                num_reducers=10)
+    run_until(bed.sim, lambda: job.completion_time is not None, horizon=4000)
+    # Drain window: caps release and open incidents resolve after the job.
+    bed.run(120.0)
+    families = snapshot(pc, telemetry=telemetry)
+    pc.close()
+
+    if args.spans:
+        telemetry.spans.export_jsonl(args.spans)
+        print(f"{len(telemetry.spans)} spans written to {args.spans}",
+              file=sys.stderr)
+    if args.ledger:
+        payload = json.dumps(telemetry.ledger.to_jsonable(), indent=2)
+        if args.ledger == "-":
+            print(payload)
+        else:
+            with open(args.ledger, "w") as fh:
+                fh.write(payload + "\n")
+            print(f"incident ledger written to {args.ledger}",
+                  file=sys.stderr)
+    if args.report:
+        print(telemetry.ledger.render())
+        return 0
+    text = render_text(families)
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+        print(f"exposition written to {args.out}", file=sys.stderr)
+    else:
+        print(text, end="")
+    return 0
+
+
 def _run_sweep(args: argparse.Namespace) -> int:
     if args.analytic:
         points = sweeps.analytic_sweep(betas=args.betas, gammas=args.gammas)
@@ -438,6 +487,31 @@ def build_parser() -> argparse.ArgumentParser:
     _add_parallel_args(scenarios)
     _add_resilience_args(scenarios)
     _add_shard_workers_arg(scenarios)
+    obs = sub.add_parser(
+        "obs",
+        help="run a telemetry-on mitigation scenario and export its "
+             "metrics exposition / incident ledger / control-interval "
+             "spans (see docs/OBSERVABILITY.md)",
+    )
+    obs.add_argument("action", nargs="?", choices=("export",),
+                     default="export",
+                     help="what to do (only 'export' for now)")
+    obs.add_argument("--seed", type=int, default=7)
+    obs.add_argument("--size-mb", type=float, default=640.0,
+                     help="terasort input size for the scenario run")
+    obs.add_argument("--out", metavar="PATH", default=None,
+                     help="write the Prometheus-style text exposition to "
+                          "PATH instead of stdout")
+    obs.add_argument("--ledger", metavar="PATH", nargs="?", const="-",
+                     default=None,
+                     help="also dump the incident ledger as JSON "
+                          "(PATH, or stdout if no PATH given)")
+    obs.add_argument("--spans", metavar="PATH", default=None,
+                     help="also export control-interval spans as JSONL")
+    obs.add_argument("--report", action="store_true",
+                     help="print the human-readable incident report "
+                          "instead of the exposition")
+    _add_shard_workers_arg(obs)
     bench = sub.add_parser(
         "bench",
         help="hot-path benchmark suite + performance-regression gate "
@@ -493,7 +567,8 @@ def main(argv=None) -> int:
               " `sweep` — the β/γ sensitivity grid;"
               " `chaos` — the mitigation scenario under fault injection;"
               " `bench` — the performance-regression suite;"
-              " `scenarios` — the scored acceptance corpus")
+              " `scenarios` — the scored acceptance corpus;"
+              " `obs` — telemetry exposition / incident ledger export")
         return 0
     if args.command == "demo":
         return _run_demo(args)
@@ -503,6 +578,8 @@ def main(argv=None) -> int:
         return _run_chaos(args)
     if args.command == "scenarios":
         return _run_scenarios(args)
+    if args.command == "obs":
+        return _run_obs(args)
     if args.command == "bench":
         from repro.bench.runner import main as bench_main
 

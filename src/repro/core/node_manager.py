@@ -29,6 +29,7 @@ reboot wiped them), cap state for departed VMs is retired, and no
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -108,6 +109,7 @@ class NodeManager:
         scheduler=None,
         resilience: Optional[ResiliencePolicy] = None,
         shared_plane: bool = False,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.host_name = host_name
@@ -151,6 +153,10 @@ class NodeManager:
         #: (time, vm, resource, normalized_cap) actuation events.
         self.actions: List[tuple] = []
         self.stats = ControlPlaneStats()
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` — incident
+        #: ledger + span recorder.  Every hook below is guarded on it,
+        #: so ``None`` (the default) leaves the hot path untouched.
+        self.telemetry = telemetry
         #: Optional :class:`~repro.core.shards.ShardedControlPlane`; when
         #: set, this agent is stepped as a shard of the coordinator task
         #: instead of owning its own periodic event.
@@ -257,7 +263,15 @@ class NodeManager:
         high = [i for i in instances if i.is_high_priority and i.app_id]
         low = [i for i in instances if not i.is_high_priority]
 
-        samples = self.monitor.sample(now)
+        tel = self.telemetry
+        spans = tel.spans if tel is not None else None
+        if spans is not None:
+            t0 = time.perf_counter()
+            samples = self.monitor.sample(now)
+            spans.record("monitor.sample", self.host_name, now,
+                         time.perf_counter() - t0)
+        else:
+            samples = self.monitor.sample(now)
         self._retire_departed({i.name for i in instances})
         if mode == MONITOR:
             # Lowest rung: keep observing (best-effort — the breaker may
@@ -288,8 +302,51 @@ class NodeManager:
             ),
             do_identify=bool(low),
             rows=self.monitor.plane.row_mapping(),
+            trace=spans is not None,
         )
         return IntervalContext(now=now, mode=mode, samples=samples, ticket=ticket)
+
+    # -------------------------------------------------- coordinator helpers
+    def quiet_interval(self, ctx: IntervalContext) -> bool:
+        """Whether this interval's compute may skip the pool round-trip.
+
+        Quiet means no app's latest deviation crossed a threshold and no
+        cap (CUBIC or static) is in force — identification and control
+        will be cheap, so the coordinator runs them parent-side instead
+        of paying the ticket round-trip (a routing decision only; the
+        serial-fallback path computes identical results).
+        """
+        return (
+            not self.cap_states
+            and not self.static_caps
+            and not self.detector.in_deviation(
+                app for app, _ in ctx.ticket.app_members
+            )
+        )
+
+    def victim_tails(self, ticket: ComputeTicket) -> tuple:
+        """Victim-signal tails for a pool-bound ticket.
+
+        Long enough (``max(corr_window, corr_min_samples)``) that a
+        worker whose replica missed any number of ticket-free ticks can
+        reconstruct everything the compute half reads: ``identify``
+        consumes only ``victim.tail(corr_window)``, and the
+        enough-history check saturates at ``corr_min_samples`` on both
+        sides once that many entries exist.
+        """
+        length = max(self.config.corr_window, self.config.corr_min_samples)
+        tails = []
+        for app_id, _ in ticket.app_members:
+            sig = self.detector.signals.get(app_id)
+            if sig is None:
+                continue
+            entry = [app_id]
+            for kind in ("io", "cpi"):
+                times, values = sig[kind].tail(length)
+                entry.append((tuple(float(t) for t in times),
+                              tuple(float(v) for v in values)))
+            tails.append(tuple(entry))
+        return tuple(tails)
 
     def _compute_ctx(self, ctx: IntervalContext) -> ControlVerdict:
         """Run the compute half on this agent's own (live) state."""
@@ -308,6 +365,14 @@ class NodeManager:
         self, ctx: IntervalContext, verdict: ControlVerdict, *, absorb: bool
     ) -> None:
         now, mode = ctx.now, ctx.mode
+        tel = self.telemetry
+        spans = tel.spans if tel is not None else None
+        if spans is not None:
+            # Compute-half spans measured by whichever side ran
+            # compute_verdict (a pool worker or this very agent) and
+            # carried home on the verdict.
+            for kind, dur in verdict.spans:
+                spans.record(kind, self.host_name, now, dur)
         if absorb:
             for app_id, iowait_std, cpi_std in verdict.detections:
                 self.detector.record(now, app_id, iowait_std, cpi_std)
@@ -315,6 +380,8 @@ class NodeManager:
             # Nothing to identify or throttle; detection history still
             # accumulates (the paper's "running alone" baselines).
             self._finish_interval(now, mode)
+            if tel is not None and tel.ledger is not None:
+                tel.ledger.observe(self, now, verdict, ())
             return
 
         io_contention = any(
@@ -324,8 +391,15 @@ class NodeManager:
             s > self.config.h_cpi for _, _, s in verdict.detections
         )
 
+        t0 = time.perf_counter() if spans is not None else 0.0
         io_antagonists: Set[str] = set()
         cpu_antagonists: Set[str] = set()
+        #: (identification, judged antagonist set) pairs — on the absorb
+        #: path the parent re-judges from the verdict's correlations (the
+        #: worker-side sets are ignored), so this list holds the
+        #: authoritative outcome on both paths; the incident ledger is
+        #: built from it.
+        judged: List[tuple] = []
         for ident in verdict.identifications:
             if absorb:
                 ants = (
@@ -334,10 +408,16 @@ class NodeManager:
                 )
             else:
                 ants = ident.antagonists
+            judged.append((ident, ants))
             if ident.resource == "io":
                 io_antagonists |= ants
             else:
                 cpu_antagonists |= ants
+        if spans is not None:
+            t1 = time.perf_counter()
+            spans.record("identifier.judge", self.host_name, now, t1 - t0)
+        else:
+            t1 = 0.0
 
         samples = ctx.samples
         if mode == STATIC_CAP:
@@ -353,6 +433,11 @@ class NodeManager:
             self._control("io", io_antagonists, io_contention, samples, now)
             self._control("cpu", cpu_antagonists, cpu_contention, samples, now)
         self._finish_interval(now, mode)
+        if spans is not None:
+            spans.record("actuation", self.host_name, now,
+                         time.perf_counter() - t1)
+        if tel is not None and tel.ledger is not None:
+            tel.ledger.observe(self, now, verdict, judged)
 
     def _finish_interval(self, now: float, mode: str = FULL) -> None:
         if mode == STATIC_CAP:

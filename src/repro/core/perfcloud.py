@@ -39,11 +39,16 @@ class PerfCloud:
         fault_injector=None,
         resilience: Optional[ResiliencePolicy] = None,
         shard_workers: int = 0,
+        telemetry=None,
     ) -> None:
         self.sim = sim
         self.cloud = cloud
         self.config = config or PerfCloudConfig()
         self.controller_factory = controller_factory
+        #: Optional :class:`~repro.obs.telemetry.Telemetry` shared by
+        #: every agent (incident ledger + span recorder); ``None`` keeps
+        #: telemetry structurally off — the figure-run default.
+        self.telemetry = telemetry
         #: Optional :class:`~repro.faults.injector.FaultInjector` standing
         #: between every agent and its libvirt facade (chaos testing).
         self.fault_injector = fault_injector
@@ -64,6 +69,9 @@ class PerfCloud:
             sim, self.config.interval_s, workers=self.shard_workers
         )
         self.node_managers: Dict[str, NodeManager] = {}
+        #: Agents decommissioned mid-run (:meth:`remove_host`), kept so
+        #: run-level summaries still include everything they counted.
+        self.retired: Dict[str, NodeManager] = {}
         for host in hosts if hosts is not None else cloud.hosts():
             self.node_managers[host] = NodeManager(
                 sim, host, cloud, self.config, autostart=autostart,
@@ -72,6 +80,7 @@ class PerfCloud:
                 scheduler=self.control_plane,
                 resilience=resilience,
                 shared_plane=self.shard_workers > 0,
+                telemetry=telemetry,
             )
 
     def add_host(self, host_name: str) -> NodeManager:
@@ -88,9 +97,35 @@ class PerfCloud:
             controller=self.controller_factory() if self.controller_factory else None,
             fault_injector=self.fault_injector,
             resilience=self.resilience,
+            telemetry=self.telemetry,
         )
         self.node_managers[host_name] = nm
         return nm
+
+    def remove_host(self, host_name: str) -> NodeManager:
+        """Decommission an agent whose host is leaving (or whose node
+        manager died) mid-run.
+
+        The agent's control loop stops and its plane is released, but
+        the object is retained in :attr:`retired`: every run-level
+        aggregate — :meth:`survival_summary`, :meth:`resilience_summary`,
+        :meth:`throttle_events` — keeps folding in what it counted while
+        alive, instead of silently dropping a dead host's history.
+        """
+        nm = self.node_managers.pop(host_name, None)
+        if nm is None:
+            raise KeyError(f"no agent deployed on {host_name!r}")
+        nm.stop()
+        nm.monitor.plane.close()
+        self.retired[host_name] = nm
+        return nm
+
+    def _all_agents(self):
+        """(host, agent) pairs over live and retired agents, sorted."""
+        merged = dict(self.retired)
+        merged.update(self.node_managers)
+        for host in sorted(merged):
+            yield host, merged[host]
 
     def stop(self) -> None:
         """Halt every agent's control loop."""
@@ -117,25 +152,29 @@ class PerfCloud:
 
     # ----------------------------------------------------------------- query
     def throttle_events(self) -> List[tuple]:
-        """All actuation events across hosts, time-ordered."""
+        """All actuation events across hosts (retired included), time-ordered."""
         events = []
-        for nm in self.node_managers.values():
+        for _, nm in self._all_agents():
             events.extend(nm.actions)
         return sorted(events)
 
     def survival_summary(self) -> Dict[str, int]:
-        """Survival counters summed across every agent."""
+        """Survival counters summed across every agent, retired included."""
         total: Dict[str, int] = {}
-        for host in sorted(self.node_managers):
-            for key, value in self.node_managers[host].survival_summary().items():
+        for _, nm in self._all_agents():
+            for key, value in nm.survival_summary().items():
                 total[key] = total.get(key, 0) + value
         return total
 
     def resilience_summary(self) -> Dict[str, ResilienceStats]:
-        """Per-host ladder + breaker posture (empty when resilience is off)."""
+        """Per-host ladder + breaker posture (empty when resilience is off).
+
+        Hosts whose agent was decommissioned mid-run report the posture
+        they held at retirement rather than vanishing from the map.
+        """
         out: Dict[str, ResilienceStats] = {}
-        for host in sorted(self.node_managers):
-            stats = self.node_managers[host].resilience_summary()
+        for host, nm in self._all_agents():
+            stats = nm.resilience_summary()
             if stats is not None:
                 out[host] = stats
         return out

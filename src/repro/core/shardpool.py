@@ -41,6 +41,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.core.monitor import PLANE_METRICS
 from repro.core.verdict import ComputeTicket, ControlVerdict, compute_verdict
+from repro.metrics.timeseries import TimeSeries
 
 __all__ = ["WorkerShard", "ShardPool", "WORKER_ENV"]
 
@@ -76,6 +77,34 @@ class WorkerShard:
             }
         return hist[metric]
 
+    def reconcile_victims(self, ticket: ComputeTicket) -> None:
+        """Fill victim-signal gaps left by ticket-free ticks.
+
+        A tick the coordinator skipped (host quiet, computed parent-side)
+        appended a detection value to the parent's signal history that
+        this replica never saw.  Every pool-bound ticket ships the tail
+        of each victim signal — all values originate from absorbed
+        verdicts, so appending the entries newer than the replica's last
+        time restores bit-identical suffixes.  The identifier's
+        incremental cache sees a jumped grid and takes its rebuild path
+        (a full realign: same scores, one slower interval).  Appending to
+        the *detector's own* series keeps the victim object identity
+        stable, which is what the incremental fast path is keyed on.
+        """
+        for app_id, io_tail, cpi_tail in ticket.victim_tails:
+            sig = self.detector.signals.get(app_id)
+            if sig is None:
+                sig = self.detector.signals[app_id] = {
+                    "io": TimeSeries(name=f"{app_id}.iowait_std"),
+                    "cpi": TimeSeries(name=f"{app_id}.cpi_std"),
+                }
+            for kind, (times, values) in (("io", io_tail), ("cpi", cpi_tail)):
+                series = sig[kind]
+                last = series.last_time
+                for t, v in zip(times, values):
+                    if last is None or t > last:
+                        series.append(t, v)
+
 
 def _worker_main(conn, heartbeats, slot: int, shards: Mapping[str, WorkerShard],
                  beat_interval: float) -> None:
@@ -103,6 +132,7 @@ def _worker_main(conn, heartbeats, slot: int, shards: Mapping[str, WorkerShard],
                 try:
                     shard = shards[ticket.host]
                     shard.plane.refresh_worker_view(ticket.rows, ticket.epoch)
+                    shard.reconcile_victims(ticket)
                     verdict = compute_verdict(
                         shard.detector, shard.identifier, shard.plane,
                         ticket, {}, shard.series_of, shard.config,
@@ -179,7 +209,14 @@ class ShardPool:
         if self.failed:
             return False
         for slot in range(self.workers):
-            if self._slots[slot] is not None:
+            s = self._slots[slot]
+            if s is not None and not s.proc.is_alive():
+                # A worker can die while receiving no tickets (ticket-free
+                # ticks route quiet hosts parent-side); notice the corpse
+                # here instead of waiting for the next failed send.
+                self._kill(slot)
+                s = None
+            if s is not None:
                 continue
             if self.respawns > self.max_respawns:
                 self.failed = True

@@ -42,6 +42,7 @@ so deployments force ``workers=0`` whenever an injector is wired in.
 from __future__ import annotations
 
 import time
+from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.sim.engine import Simulator
@@ -62,7 +63,8 @@ def _step_shard(nm) -> None:
 class ShardedControlPlane:
     """Steps every attached node manager from a single periodic task."""
 
-    def __init__(self, sim: Simulator, interval_s: float, *, workers: int = 0) -> None:
+    def __init__(self, sim: Simulator, interval_s: float, *, workers: int = 0,
+                 ticket_free: bool = True) -> None:
         if workers < 0:
             raise ValueError(f"workers must be >= 0, got {workers!r}")
         if interval_s <= 0:
@@ -70,6 +72,12 @@ class ShardedControlPlane:
         self.sim = sim
         self.interval_s = float(interval_s)
         self.workers = int(workers)
+        #: Skip the pool round-trip for quiet hosts (no detector in
+        #: deviation, no caps in force) and run their compute half
+        #: parent-side through the very same serial-fallback path — a
+        #: routing decision only, so results are byte-identical either
+        #: way.  Toggleable so both modes stay measurable.
+        self.ticket_free = bool(ticket_free)
         #: Attached shards by host name, in attach order (= step order).
         self._shards: Dict[str, object] = {}
         self._task = None
@@ -79,7 +87,7 @@ class ShardedControlPlane:
         self.timings: Dict[str, float] = {
             "begin_s": 0.0, "compute_s": 0.0, "complete_s": 0.0,
             "parallel_ticks": 0.0, "serial_ticks": 0.0,
-            "fallback_tickets": 0.0,
+            "fallback_tickets": 0.0, "ticket_free": 0.0,
         }
 
     # ------------------------------------------------------------ membership
@@ -155,16 +163,28 @@ class ShardedControlPlane:
         t1 = time.perf_counter()
 
         # Phase B: ship tickets to the pool (attach-order round-robin);
-        # hosts a worker has never seen stay parent-side.
+        # hosts a worker has never seen stay parent-side, and quiet
+        # hosts skip the round-trip entirely (ticket-free ticks) — both
+        # fall through to the phase-C serial path, so where a ticket
+        # runs never changes what it computes.  Pool-bound tickets carry
+        # victim-signal tails so the worker can close any history gap
+        # the skipped ticks left in its replica.
         assignments: Dict[int, list] = {}
+        skipped = 0
         host_slot = {
             host: idx % pool.workers
             for idx, host in enumerate(self._shards)
         }
         for nm, ctx in work:
             slot = host_slot[nm.host_name]
-            if nm.host_name in pool.known_hosts(slot):
-                assignments.setdefault(slot, []).append(ctx.ticket)
+            if nm.host_name not in pool.known_hosts(slot):
+                continue
+            if self.ticket_free and nm.quiet_interval(ctx):
+                skipped += 1
+                continue
+            assignments.setdefault(slot, []).append(
+                replace(ctx.ticket, victim_tails=nm.victim_tails(ctx.ticket))
+            )
         results = pool.compute(assignments) if assignments else {}
         t2 = time.perf_counter()
 
@@ -181,7 +201,11 @@ class ShardedControlPlane:
         self.timings["begin_s"] += t1 - t0
         self.timings["compute_s"] += t2 - t1
         self.timings["complete_s"] += t3 - t2
-        self.timings["fallback_tickets"] += len(work) - len(results)
+        self.timings["ticket_free"] += skipped
+        # Deliberate skips are not fallbacks: a fallback is a ticket the
+        # pool was *supposed* to compute but could not (unknown host,
+        # worker death, deadline).
+        self.timings["fallback_tickets"] += len(work) - skipped - len(results)
 
         # Tick boundary: every verdict absorbed, parent state == worker
         # state — the only moment a (re)spawn fork is valid.
@@ -201,6 +225,18 @@ class ShardedControlPlane:
         from repro.core.shardpool import WorkerShard
 
         return {host: WorkerShard(nm) for host, nm in self._shards.items()}
+
+    def pool_stats(self) -> Optional[Dict[str, object]]:
+        """Shard-pool health counters, or ``None`` before the first fork."""
+        pool = self._pool
+        if pool is None:
+            return None
+        return {
+            "worker_deaths": pool.worker_deaths,
+            "respawns": pool.respawns,
+            "fallback_tickets": pool.fallback_tickets,
+            "failed": pool.failed,
+        }
 
     def shutdown(self) -> None:
         """Stop the worker pool (shards and coordinator task stay)."""

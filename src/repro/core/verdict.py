@@ -25,7 +25,8 @@ in lockstep (see ``core/shardpool.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Tuple
 
 __all__ = ["ComputeTicket", "AppIdentification", "ControlVerdict",
@@ -51,6 +52,14 @@ class ComputeTicket:
     do_identify: bool
     #: Plane VM → row assignment snapshot (worker view rebuild).
     rows: Tuple[Tuple[str, int], ...]
+    #: Victim-signal tails per app — ``(app_id, (io_times, io_values),
+    #: (cpi_times, cpi_values))`` — shipped only on pool-bound tickets so
+    #: a worker can fill any signal gap left by ticket-free ticks it
+    #: never saw (see ``WorkerShard.reconcile_victims``).  Plain float
+    #: tuples: bit-exact across pickle.
+    victim_tails: Tuple[tuple, ...] = ()
+    #: Whether the compute half should measure spans (telemetry on).
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -78,6 +87,11 @@ class ControlVerdict:
     detections: Tuple[Tuple[str, float, float], ...]
     identifications: Tuple[AppIdentification, ...]
     do_identify: bool
+    #: (span kind, wall-clock seconds) measured by the compute half when
+    #: the ticket requested tracing — carried home on the verdict pipe
+    #: under ``shard_workers=N``, produced identically on the serial
+    #: path.  Wall-clock only: never read by anything deterministic.
+    spans: Tuple[Tuple[str, float], ...] = field(default=())
 
 
 def compute_verdict(
@@ -100,7 +114,10 @@ def compute_verdict(
     worker's lazily-extended fork copy of it).
     """
     app_members = {app: list(members) for app, members in ticket.app_members}
+    trace = ticket.trace
+    t0 = time.perf_counter() if trace else 0.0
     detections = detector.evaluate(ticket.now, samples, app_members, plane=plane)
+    t1 = time.perf_counter() if trace else 0.0
     identifications = []
     if ticket.do_identify:
         for app_id in app_members:
@@ -120,6 +137,11 @@ def compute_verdict(
                     correlations=dict(result.correlations),
                     antagonists=frozenset(result.antagonists),
                 ))
+    spans: Tuple[Tuple[str, float], ...] = ()
+    if trace:
+        t2 = time.perf_counter()
+        spans = (("detector.evaluate", t1 - t0),
+                 ("identifier.identify", t2 - t1))
     return ControlVerdict(
         host=ticket.host,
         epoch=ticket.epoch,
@@ -128,4 +150,5 @@ def compute_verdict(
         ),
         identifications=tuple(identifications),
         do_identify=ticket.do_identify,
+        spans=spans,
     )

@@ -698,14 +698,15 @@ _FIG9_ANTAGONISTS = (("fio", None), ("stream", None), ("oltp", None),
 
 
 def _fig9_run(scheme: str, seed: int, size_mb: float,
-              shard_workers: int = 0) -> tuple:
+              shard_workers: int = 0, telemetry=None) -> tuple:
     testbed = build_testbed(
         TestbedConfig(seed=seed, num_workers=12, framework="spark",
                       antagonists=_FIG9_ANTAGONISTS)
     )
     monitor_only = PerfCloudConfig(h_io=1e9, h_cpi=1e9)
     if scheme == "perfcloud":
-        testbed.deploy_perfcloud(shard_workers=shard_workers)
+        testbed.deploy_perfcloud(shard_workers=shard_workers,
+                                 telemetry=telemetry)
     elif scheme == "static":
         testbed.deploy_perfcloud(monitor_only, shard_workers=shard_workers)
         stream_cores = float(testbed.antagonist_vms["stream"].vcpus)

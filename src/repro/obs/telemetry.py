@@ -1,0 +1,46 @@
+"""Telemetry switchboard threaded through the control plane.
+
+One :class:`Telemetry` object per deployment carries the run's incident
+ledger and span recorder.  Everything is opt-in: figures and scenarios
+construct :class:`~repro.core.perfcloud.PerfCloud` without telemetry by
+default, and every hot-path hook is guarded by ``telemetry is not None``
+so a telemetry-off run executes byte-for-byte the same instructions as
+before the obs layer existed.
+
+The ledger is deterministic (verdict-driven) and safe to enable in
+cached scenario runs; spans carry wall-clock durations and are meant for
+profiling, not for run-output comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.obs.incidents import IncidentLedger
+from repro.obs.spans import SpanRecorder
+
+__all__ = ["Telemetry"]
+
+
+class Telemetry:
+    """Per-run observability state: incident ledger + span recorder."""
+
+    __slots__ = ("ledger", "spans")
+
+    def __init__(self, *, ledger: bool = True, spans: bool = False,
+                 span_capacity: int = 65536) -> None:
+        self.ledger: Optional[IncidentLedger] = (
+            IncidentLedger() if ledger else None
+        )
+        self.spans: Optional[SpanRecorder] = (
+            SpanRecorder(span_capacity) if spans else None
+        )
+
+    @property
+    def trace_spans(self) -> bool:
+        """Whether compute tickets should request span timing."""
+        return self.spans is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Telemetry(ledger={self.ledger is not None}, "
+                f"spans={self.spans is not None})")

@@ -24,6 +24,7 @@ from repro.core.perfcloud import PerfCloud
 from repro.experiments.harness import run_until
 from repro.faults.injector import FaultInjector
 from repro.hardware.specs import HostSpec, NicSpec, R630
+from repro.obs import Telemetry
 from repro.scenarios.spec import (
     AntagonistDef,
     HostDef,
@@ -317,10 +318,16 @@ def run_world(world: WorldDef, *, shard_workers: int = 0) -> Dict[str, Any]:
     if world.faults is not None:
         injector = FaultInjector(sim, world.faults, cluster=cluster)
     perfcloud: Optional[PerfCloud] = None
+    telemetry = None
     if world.policy.kind == "perfcloud":
+        # Ledger-only telemetry: incident lifecycles cost one dict update
+        # per deviating interval and feed the scored metrics; spans stay
+        # off — scenario runs don't need per-interval timing.
+        telemetry = Telemetry(ledger=True, spans=False)
         perfcloud = PerfCloud(sim, cloud, world.policy.build_config(),
                               fault_injector=injector,
-                              shard_workers=shard_workers)
+                              shard_workers=shard_workers,
+                              telemetry=telemetry)
 
     # ------------------------------------------------------------------ jobs
     job_slots: List[Dict[str, Any]] = []
@@ -402,6 +409,7 @@ def run_world(world: WorldDef, *, shard_workers: int = 0) -> Dict[str, Any]:
             "caps_reconciled": survival["caps_reconciled"],
             "actuations_retried": survival["actuations_retried"],
             "samples_dropped": survival["samples_dropped"],
+            "incidents": telemetry.ledger.summary_jsonable(),
         })
     else:
         metrics["survived"] = completed

@@ -1,0 +1,80 @@
+"""Run-level summaries must keep counting agents that died mid-run.
+
+``PerfCloud.remove_host`` decommissions an agent (host drained, node
+manager crashed) but retains the object: ``survival_summary``,
+``resilience_summary`` and ``throttle_events`` fold retired agents in
+instead of silently dropping a dead host's history — the bug this
+guards against is a cluster summary that *improves* when a host dies.
+"""
+
+import pytest
+
+from repro import teragen, terasort
+from repro.experiments.harness import TestbedConfig, build_testbed, run_until
+from repro.resilience.ladder import ResiliencePolicy
+
+
+def _mitigation_world(seed=7, resilience=None):
+    bed = build_testbed(TestbedConfig(
+        seed=seed, num_hosts=2, num_workers=6, framework="mapreduce",
+        antagonists=(("fio", 0),),
+    ))
+    pc = bed.deploy_perfcloud(resilience=resilience)
+    job = bed.jobtracker.submit(terasort(), teragen(320), num_reducers=4)
+    run_until(bed.sim, lambda: job.completion_time is not None, horizon=2000)
+    return bed, pc
+
+
+def test_remove_host_keeps_summaries_whole():
+    bed, pc = _mitigation_world()
+    victim_host = sorted(pc.node_managers)[0]  # fio + workers live here
+
+    before_survival = pc.survival_summary()
+    before_events = pc.throttle_events()
+    assert before_events, "mitigation world produced no actuations"
+    per_host = {h: nm.survival_summary()
+                for h, nm in pc.node_managers.items()}
+
+    nm = pc.remove_host(victim_host)
+    assert victim_host not in pc.node_managers
+    assert pc.retired[victim_host] is nm
+    assert not nm.running
+
+    # Nothing the dead agent counted may vanish from the aggregates.
+    assert pc.survival_summary() == before_survival
+    assert pc.throttle_events() == before_events
+    for key, value in per_host[victim_host].items():
+        assert pc.survival_summary()[key] >= value
+
+    # The survivor keeps accumulating on top of the retired history.
+    bed.run(120.0)
+    after = pc.survival_summary()
+    live = pc.node_managers[sorted(pc.node_managers)[0]]
+    assert after["intervals_completed"] == (
+        per_host[victim_host]["intervals_completed"]
+        + live.survival_summary()["intervals_completed"]
+    )
+    pc.close()
+
+
+def test_remove_host_unknown_raises_and_is_not_idempotent():
+    bed, pc = _mitigation_world()
+    host = sorted(pc.node_managers)[0]
+    pc.remove_host(host)
+    with pytest.raises(KeyError):
+        pc.remove_host(host)
+    with pytest.raises(KeyError):
+        pc.remove_host("no-such-host")
+    pc.close()
+
+
+def test_retired_agents_keep_their_resilience_posture():
+    bed, pc = _mitigation_world(resilience=ResiliencePolicy())
+    host = sorted(pc.node_managers)[0]
+    want = pc.resilience_summary()
+    assert set(want) == set(pc.node_managers) | set(pc.retired)
+    pc.remove_host(host)
+    got = pc.resilience_summary()
+    assert host in got, "retired host vanished from resilience_summary"
+    assert got[host].mode == want[host].mode
+    pc.close()
