@@ -33,6 +33,30 @@ def test_identifier_speedup_floor(micro_metrics):
     assert micro_metrics["micro.identifier.speedup_vs_naive"] >= 20.0
 
 
+def test_dataplane_speedup_floors(micro_metrics):
+    # Acceptance criteria for the columnar data plane: the vectorized
+    # host step must beat the scalar dict-per-tick oracle by >= 1.5x at
+    # fig-scale guest counts, with the idle fast path and the fabric
+    # kernel holding the same floor.  The ratios are same-process and
+    # machine-independent, but a CPU-steal burst can still depress one
+    # measurement — re-measure before failing, like the obs gate.
+    from repro.bench.micro import bench_dataplane
+
+    floors = {
+        "dataplane.speedup_vs_naive": 1.5,
+        "dataplane.idle_speedup_vs_naive": 1.5,
+        "dataplane.fabric_speedup_vs_naive": 1.5,
+    }
+    metrics = {k: micro_metrics[f"micro.{k}"] for k in floors}
+    attempts = 1
+    while (any(metrics[k] < floors[k] for k in floors) and attempts < 3):
+        metrics = {k: v for k, v in bench_dataplane(repeat=2).items()
+                   if k in floors}
+        attempts += 1
+    for k, floor in floors.items():
+        assert metrics[k] >= floor, f"{k}: {metrics[k]:.2f} < {floor}"
+
+
 def test_plane_speedup_floor(micro_metrics):
     # Columnar ingest (one batched column write + masked-column reads)
     # vs the per-(VM, metric) append store it replaced.

@@ -25,9 +25,73 @@ from repro.metrics.timeseries import TimeSeries
 __all__ = [
     "NaiveTimeSeries",
     "naive_aligned_pearson",
+    "naive_fabric_allocate",
     "naive_history_ingest",
     "naive_rolling_tail_stats",
 ]
+
+_LOOPBACK_BPS = 40e9  # intra-host copies: effectively memory bandwidth
+
+
+def naive_fabric_allocate(
+    nic: Mapping[str, float], flows: list, dt: float
+) -> Tuple[List[float], dict]:
+    """The pre-vectorization fabric loop, verbatim: per-flow dict
+    accumulation of NIC loads, iterated proportional scaling, and a final
+    full re-accumulation for the utilization gauges.  Returns
+    ``(bytes_delivered, utilization)`` so both outputs of
+    :meth:`~repro.hardware.network.NetworkFabric.allocate` can be checked
+    against it."""
+    if dt <= 0:
+        raise ValueError(f"dt must be positive, got {dt!r}")
+    if not flows:
+        return [], {}
+    for f in flows:
+        if f.bytes_per_s < 0:
+            raise ValueError(f"negative flow demand: {f!r}")
+        for h in (f.src_host, f.dst_host):
+            if h not in nic:
+                raise KeyError(f"unknown host in flow: {h!r}")
+
+    rates = [f.bytes_per_s for f in flows]
+    for _ in range(8):
+        egress: dict = {}
+        ingress: dict = {}
+        for f, r in zip(flows, rates):
+            if f.intra_host:
+                continue
+            egress[f.src_host] = egress.get(f.src_host, 0.0) + r
+            ingress[f.dst_host] = ingress.get(f.dst_host, 0.0) + r
+        worst = 1.0
+        for host, tot in egress.items():
+            worst = max(worst, tot / nic[host])
+        for host, tot in ingress.items():
+            worst = max(worst, tot / nic[host])
+        if worst <= 1.0 + 1e-9:
+            break
+        new_rates = []
+        for f, r in zip(flows, rates):
+            if f.intra_host:
+                new_rates.append(min(r, _LOOPBACK_BPS))
+                continue
+            rho = max(
+                egress.get(f.src_host, 0.0) / nic[f.src_host],
+                ingress.get(f.dst_host, 0.0) / nic[f.dst_host],
+            )
+            new_rates.append(r / rho if rho > 1.0 else r)
+        rates = new_rates
+
+    egress = {h: 0.0 for h in nic}
+    ingress = {h: 0.0 for h in nic}
+    for f, r in zip(flows, rates):
+        if f.intra_host:
+            continue
+        egress[f.src_host] += r
+        ingress[f.dst_host] += r
+    utilization = {
+        h: (egress[h] / nic[h], ingress[h] / nic[h]) for h in nic
+    }
+    return [r * dt for r in rates], utilization
 
 
 class NaiveTimeSeries:

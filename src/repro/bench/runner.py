@@ -65,10 +65,25 @@ def run_suite(
             "python": platform.python_version(),
             "numpy": numpy.__version__,
             "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+            "cpus_available": _cpus_available(),
             "unix_time": int(time.time()),
         },
         "metrics": metrics,
     }
+
+
+def _cpus_available() -> Optional[int]:
+    """CPUs this process may actually use (cgroup/affinity-aware).
+
+    ``os.cpu_count()`` reports the machine; a containerized CI runner is
+    often pinned to fewer cores, which is what the pool-speedup metrics
+    (``cluster_scale.workersN_*``) physically depend on.
+    """
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):
+        return os.cpu_count()
 
 
 def write_result(result: Dict, path: Optional[str] = None) -> str:
@@ -169,6 +184,19 @@ def main(args) -> int:
     print(format_metrics(result))
     out_path = write_result(result, args.out)
     print(f"\nresult written to {out_path}")
+
+    if getattr(args, "profile", False):
+        from repro.bench.macro import profile_macro
+
+        report = profile_macro(
+            top_n=getattr(args, "profile_top", 30),
+            full_fig11=args.full_macro,
+        )
+        root, _ = os.path.splitext(out_path)
+        profile_path = f"{root}_profile.txt"
+        with open(profile_path, "w") as fh:
+            fh.write(report)
+        print(f"macro cProfile report written to {profile_path}")
 
     baseline_path = args.compare
     if baseline_path is None and (args.check or args.compare_default):

@@ -527,6 +527,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="micro-benchmark repetitions (best-of; default 3)")
     bench.add_argument("--full-macro", action="store_true",
                        help="run fig11 at its figure-default dimensions (slow)")
+    bench.add_argument("--profile", action="store_true",
+                       help="additionally run the macro cases under cProfile "
+                            "and write a top-N cumulative report next to the "
+                            "result file")
+    bench.add_argument("--profile-top", type=int, default=30, metavar="N",
+                       help="rows per section in the --profile report "
+                            "(default 30)")
     bench.add_argument("--out", metavar="PATH", default=None,
                        help="result file (default BENCH_<rev>.json)")
     bench.add_argument("--compare", metavar="BASELINE", nargs="?",

@@ -64,6 +64,9 @@ class MonitorStats:
     histories_purged: int = 0
     #: Stale samples pruned by the retention window.
     samples_pruned: int = 0
+    #: Per-VM samples that ran entirely on preallocated buffers (no
+    #: counter/delta/column dict construction this interval).
+    sample_buffers_reused: int = 0
 
 
 @dataclass
@@ -85,10 +88,21 @@ class VmSample:
 
 
 class _VmMonitorState:
-    """Per-VM cursor over cumulative counters plus EWMA filters."""
+    """Per-VM cursor over cumulative counters plus EWMA filters.
+
+    The cursor double-buffers its counter snapshots: ``prev`` and ``cur``
+    are two dicts swapped every interval and refilled in place, and the
+    per-interval delta and plane-column dicts are preallocated too — the
+    steady-state sampling pass constructs no dicts at all (only the
+    :class:`VmSample` returned to callers, who may retain it across
+    intervals).
+    """
 
     def __init__(self, alpha: float) -> None:
         self.prev: Optional[Dict[str, float]] = None
+        self.cur: Dict[str, float] = {}
+        self.delta: Dict[str, float] = {}
+        self.col: Dict[str, float] = {}
         self.iowait = Ewma(alpha)
         self.cpi = Ewma(alpha)
         self.io_bytes = Ewma(alpha)
@@ -117,6 +131,8 @@ class PerformanceMonitor:
         #: for the identifier and for experiment reporting.
         self.history: Dict[str, Dict[str, PlaneSeries]] = {}
         self.stats = MonitorStats()
+        #: Reusable per-pass ingest batch (vm -> that VM's column buffer).
+        self._columns: Dict[str, Dict[str, float]] = {}
 
     def sample(self, now: float) -> Dict[str, VmSample]:
         """Collect one interval's smoothed metrics for every domain.
@@ -132,7 +148,8 @@ class PerformanceMonitor:
         except LibvirtError:
             self.stats.list_failures += 1
             return out
-        columns: Dict[str, Dict[str, float]] = {}
+        columns = self._columns
+        columns.clear()
         present = set()
         for dom in domains:
             name = dom.name()
@@ -144,7 +161,6 @@ class PerformanceMonitor:
             except LibvirtError:
                 self.stats.samples_dropped += 1
                 continue
-            counters = {**raw, **perf, **cpu}
             st = self._state.get(name)
             if st is None:
                 st = _VmMonitorState(self.config.ewma_alpha)
@@ -152,13 +168,28 @@ class PerformanceMonitor:
                 self.history[name] = {
                     k: self.plane.series(name, k) for k in PLANE_METRICS
                 }
+            # Refill this VM's counter buffer in place and swap it with
+            # the previous snapshot (double buffering: zero dict churn in
+            # steady state).
+            counters = st.cur
+            reused = bool(counters)
+            counters.clear()
+            counters.update(raw)
+            counters.update(perf)
+            counters.update(cpu)
             prev = st.prev
             st.prev = counters
+            st.cur = prev if prev is not None else {}
             if prev is None:
                 continue  # first observation: no delta yet
+            if reused:
+                self.stats.sample_buffers_reused += 1
 
             dt = self.config.interval_s
-            d = {k: counters[k] - prev.get(k, 0.0) for k in counters}
+            d = st.delta
+            d.clear()
+            for k, v in counters.items():
+                d[k] = v - prev.get(k, 0.0)
             if min(d.values()) < -1e-6:
                 # Cumulative counters ran backwards: the guest rebooted
                 # (or the hypervisor reset its accounting).  Restart the
@@ -183,12 +214,12 @@ class PerformanceMonitor:
                 cpu_usage_cores=st.cpu.update(cpu_cores),
             )
             out[name] = sample
-            col = {
-                "iowait_ratio": sample.iowait_ratio,
-                "cpi": sample.cpi,
-                "io_bytes_ps": sample.io_bytes_ps,
-                "cpu_usage_cores": sample.cpu_usage_cores,
-            }
+            col = st.col
+            col.clear()
+            col["iowait_ratio"] = sample.iowait_ratio
+            col["cpi"] = sample.cpi
+            col["io_bytes_ps"] = sample.io_bytes_ps
+            col["cpu_usage_cores"] = sample.cpu_usage_cores
             if sample.llc_miss_rate is not None:
                 col["llc_miss_rate"] = sample.llc_miss_rate
             columns[name] = col

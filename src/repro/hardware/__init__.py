@@ -27,18 +27,20 @@ from repro.hardware.resources import (
     ResourceGrant,
 )
 from repro.hardware.specs import DiskSpec, HostSpec, MemSpec, NicSpec
-from repro.hardware.cpu import allocate_cpu
+from repro.hardware.cpu import allocate_cpu, allocate_cpu_table
 from repro.hardware.disk import BlockDevice, DiskGrant
 from repro.hardware.memsys import MemorySystem, MemOutcome
 from repro.hardware.network import NetworkFabric
 from repro.hardware.host import PhysicalHost
 from repro.hardware.jitter import PersistentBias
 from repro.hardware.numa import NumaMemorySystem, numa_isolate
+from repro.hardware.table import GuestTable, seq_sum
 
 __all__ = [
     "BlockDevice",
     "DiskGrant",
     "DiskSpec",
+    "GuestTable",
     "HostSpec",
     "MemOutcome",
     "MemSpec",
@@ -53,5 +55,7 @@ __all__ = [
     "ResourceDemand",
     "ResourceGrant",
     "allocate_cpu",
+    "allocate_cpu_table",
     "numa_isolate",
+    "seq_sum",
 ]

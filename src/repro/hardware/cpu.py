@@ -9,9 +9,14 @@ actuator PerfCloud uses to throttle CPU antagonists (§III-C).
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Mapping, Optional
+from typing import TYPE_CHECKING, Dict, Hashable, Mapping, Optional
 
-__all__ = ["allocate_cpu"]
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.hardware.table import GuestTable
+
+__all__ = ["allocate_cpu", "allocate_cpu_table"]
 
 
 def allocate_cpu(
@@ -87,3 +92,47 @@ def allocate_cpu(
 def _stable_key(vm: Hashable) -> str:
     """Deterministic ordering key for heterogeneous VM identifiers."""
     return str(vm)
+
+
+def allocate_cpu_table(table: "GuestTable", capacity: float) -> None:
+    """Columnar :func:`allocate_cpu`: fill ``table.cpu_grant`` in place.
+
+    Bitwise-identical to the scalar water-filling over the same rows:
+    each numpy elementwise op performs the exact IEEE operation the
+    scalar expression did per VM, reductions use :func:`~repro.hardware.
+    table.seq_sum` to keep the scalar left-to-right association order,
+    and the round structure (who is satisfied when) is decided by the
+    same ``1e-12`` comparisons.  Preconditions (non-negative demands and
+    capacity) are the caller's responsibility — the scalar oracle keeps
+    the validation.
+    """
+    from repro.hardware.table import seq_sum
+
+    demand = table.cpu_demand
+    # +inf cap encodes "uncapped": min(d, max(0, inf)) == d exactly.
+    effective = np.minimum(demand, np.maximum(table.cpu_cap, 0.0))
+    out = table.cpu_grant
+    total = seq_sum(effective)
+    if total <= capacity + 1e-12:
+        out[:] = effective
+        return
+
+    out[:] = 0.0
+    w = np.maximum(table.weight, 1e-9)
+    active = effective > 0.0
+    remaining = capacity
+    for _ in range(table.n + 1):
+        if not active.any() or remaining <= 1e-12:
+            break
+        # Weights are small integer vCPU counts, so this sum is exact in
+        # any association order despite the scalar path iterating a set.
+        total_weight = seq_sum(w[active])
+        share = remaining * w / total_weight
+        residual = effective - out
+        satisfied = active & (residual <= share + 1e-12)
+        if not satisfied.any():
+            out[active] += share[active]
+            break
+        out[satisfied] += residual[satisfied]
+        remaining = capacity - seq_sum(out)
+        active &= ~satisfied

@@ -18,7 +18,8 @@ from typing import Dict, List, Optional, Protocol, Tuple
 
 from repro.hardware.disk import IDLE_REQUEST, BlockDevice, DiskRequest
 from repro.hardware.memsys import IDLE_MEM_REQUEST, MemorySystem, MemRequest
-from repro.hardware.cpu import allocate_cpu
+from repro.hardware.cpu import allocate_cpu, allocate_cpu_table
+from repro.hardware.table import GuestTable, seq_sum
 from repro.hardware.resources import (
     IDLE_PROFILE,
     ZERO_DEMAND,
@@ -72,6 +73,13 @@ class HostStepResult:
 class PhysicalHost:
     """One physical server with its shared devices and guests."""
 
+    #: Minimum guest count for the vectorized kernels: below this the
+    #: per-call ufunc dispatch overhead exceeds the scalar loops'
+    #: per-guest cost (measured crossover ~10-12 rows), so small *active*
+    #: hosts step through the scalar oracle instead.  Both paths are
+    #: bitwise-identical, so the dispatch is purely a speed decision.
+    vector_min_rows = 12
+
     def __init__(self, name: str, spec: HostSpec, rng_registry) -> None:
         self.name = name
         self.spec = spec
@@ -89,12 +97,17 @@ class PhysicalHost:
                 spec.mem, rng_registry.stream(f"host.{name}.mem")
             )
         self._guests: Dict[str, Guest] = {}
+        #: Columnar mirror of the guest set; rebuilt lazily on attach/detach.
+        self.table = GuestTable()
         #: CPU utilization (granted cores / capacity) of the latest step.
         self.cpu_utilization = 0.0
         # The all-idle fast path bypasses memsys.evaluate, which is only
         # legal for the plain single-socket model: the NUMA variant pins
         # VMs to sockets on first sight inside evaluate.
         self._idle_ok = spec.numa_sockets == 1
+        # Whether the previous step saw every guest idle (steers the
+        # small-host dispatch in step_table).
+        self._was_idle = False
 
     # ---------------------------------------------------------------- guests
     @property
@@ -107,21 +120,81 @@ class PhysicalHost:
         if guest.name in self._guests:
             raise ValueError(f"guest {guest.name!r} already on host {self.name!r}")
         self._guests[guest.name] = guest
+        self.table.dirty = True
 
     def detach(self, guest_name: str) -> Guest:
         """Remove and return a guest (KeyError if absent)."""
         try:
-            return self._guests.pop(guest_name)
+            guest = self._guests.pop(guest_name)
         except KeyError:
             raise KeyError(
                 f"guest {guest_name!r} not on host {self.name!r}"
             ) from None
+        self.table.dirty = True
+        return guest
 
     def guest_names(self) -> List[str]:
         """Deterministically ordered guest names."""
         return sorted(self._guests)
 
     # ------------------------------------------------------------------ step
+    def step_table(self, dt: float) -> GuestTable:
+        """Resolve host-local resources for one step on the columnar path.
+
+        The vectorized equivalent of :meth:`step_local`: guests publish
+        their rows into :attr:`table`, the columnar kernels fill the
+        result columns, and the table's reusable per-row grants are
+        refreshed in place (``net_bytes`` still empty; the cluster fills
+        those in after fabric allocation).  Bitwise-identical outcomes
+        and RNG consumption to the scalar path, which remains as the
+        oracle.  NUMA hosts fall back to :meth:`step_local` (the NUMA
+        memory system pins VMs to sockets inside ``evaluate``) and adopt
+        its result into the table view, as do *small* hosts (fewer than
+        :attr:`vector_min_rows` guests, where ufunc dispatch overhead
+        beats the scalar loops) — unless the previous step was all-idle,
+        in which case the table path runs regardless of size so a
+        quiescent host keeps its cached idle grants instead of
+        rebuilding scalar ones every tick.
+        """
+        table = self.table
+        if table.dirty:
+            table.rebuild(self._guests)
+        if not self._idle_ok or (
+            table.n < self.vector_min_rows and not self._was_idle
+        ):
+            res = self.step_local(dt)
+            table.adopt_scalar(res)
+            if self._idle_ok:
+                self._was_idle = all(
+                    d is ZERO_DEMAND for d in res.demands.values()
+                )
+            return table
+        if table.refresh():
+            # All guests idle: same gauges and bias evictions as
+            # _step_idle, with grant re-emission skipped while the host
+            # stays quiescent.
+            self.cpu_utilization = 0.0
+            disk = self.disk
+            disk.utilization = 0.0
+            names = table.names
+            for n in names:
+                disk._share_bias.forget(n)
+            for n in names:
+                disk._bias.forget(n)
+            self.memsys.bw_utilization = 0.0
+            table.emit_idle_grants(dt)
+            self._was_idle = True
+            return table
+        self._was_idle = False
+        allocate_cpu_table(table, float(self.spec.cores))
+        self.cpu_utilization = (
+            seq_sum(table.cpu_grant) / self.spec.cores if self.spec.cores else 0.0
+        )
+        self.disk.allocate_table(table, dt)
+        self.memsys.evaluate_table(table, dt)
+        table.emit_grants(dt, self.spec.speed_factor)
+        return table
+
     def step_local(self, dt: float) -> HostStepResult:
         """Resolve host-local resources for one step.
 

@@ -244,6 +244,96 @@ class MemorySystem:
             )
         return out
 
+    # -------------------------------------------------------- columnar step
+    def evaluate_table(self, table, dt: float) -> None:
+        """Columnar :meth:`evaluate`: resolve a ``GuestTable``'s columns.
+
+        Reads the granted-CPU column (``active_cores`` in the scalar
+        request), the demand columns and the profile columns; writes the
+        ``cpi`` / ``cpi_eff`` / ``mpki`` / ``mem_bytes`` result columns.
+        Bias/fast RNG draws happen per active row in row order, exactly
+        as the scalar outcome loop drew them.  Inactive rows (including
+        idle ones) observe their base CPI with no clamp, matching the
+        scalar not-active branch.
+        """
+        if dt <= 0:
+            raise ValueError(f"dt must be positive, got {dt!r}")
+        from repro.hardware.table import seq_sum
+
+        n = table.n
+        names = table.names
+        ws = table.llc_ws
+        act = table.cpu_grant > 1e-9
+
+        # ---- LLC occupancy sharing -------------------------------------
+        bid_cap = 3.0 * self.spec.llc_mb
+        bids = np.minimum(ws, bid_cap) * np.minimum(table.cpu_grant, 8.0)
+        total_bid = seq_sum(bids[act])
+        occ = np.zeros(n)
+        wmask = act & (ws > 0.0)
+        if total_bid > 1e-12:
+            share = self.spec.llc_mb * bids / total_bid
+            occ[wmask] = np.minimum(share, ws)[wmask]
+        slack = self.spec.llc_mb - seq_sum(occ)
+        hunger = ws - occ
+        hmask = act & (hunger > 1e-9)
+        if slack > 1e-9 and hmask.any():
+            total_hunger = seq_sum(hunger[hmask])
+            add = np.minimum(hunger, slack * hunger / total_hunger)
+            occ[hmask] += add[hmask]
+
+        # ---- miss factors ------------------------------------------------
+        ratio = np.zeros(n)
+        np.divide(occ, ws, out=ratio, where=wmask)
+        mf = np.where(wmask, np.maximum(0.0, 1.0 - ratio), 0.0)
+        solo_occ = np.minimum(ws, self.spec.llc_mb)
+        sratio = np.zeros(n)
+        np.divide(solo_occ, ws, out=sratio, where=wmask)
+        solo_mf = np.maximum(0.0, 1.0 - sratio)
+        em = np.where(wmask, np.maximum(0.0, mf - solo_mf), 0.0)
+
+        # ---- bandwidth sharing -------------------------------------------
+        dmask = table.cpu_demand > 1e-9
+        cratio = np.ones(n)
+        np.divide(table.cpu_grant, table.cpu_demand, out=cratio, where=dmask)
+        cpu_scale = np.where(dmask, np.minimum(1.0, cratio), 1.0)
+        locality = np.where(ws > 0.0, 0.25 + 0.75 * mf, 0.25)
+        bwd = np.where(act, table.mem_bw * cpu_scale * locality, 0.0)
+        total_bw = seq_sum(bwd)
+        self.bw_utilization = total_bw / self.spec.bandwidth_gbps
+        bw_scale = (
+            1.0
+            if total_bw <= self.spec.bandwidth_gbps
+            else self.spec.bandwidth_gbps / total_bw
+        )
+        stall = max(0.0, 1.0 - bw_scale)
+
+        # ---- outcomes ----------------------------------------------------
+        # em is zero on inactive rows, so the full-column max equals the
+        # scalar max over the active set (values are all >= 0).
+        peak = float(np.max(em, initial=0.0))
+        jitter_sigma = self._jitter_scale(stall, {"peak": peak})
+        bias = np.ones(n)
+        fast = np.ones(n)
+        for i in np.nonzero(act)[0].tolist():
+            bias[i] = self._bias.value(names[i], jitter_sigma)
+            fast[i] = float(self._rng.lognormal(mean=0.0, sigma=0.02))
+        base = table.base_cpi
+        inflation = 1.0 + table.llc_sens * em + table.bw_sens * stall
+        cpi_obs = base * inflation * bias * fast
+        cpi_eff = base * inflation * (1.0 + 0.25 * (bias - 1.0)) * fast
+        cpi_obs = np.maximum(cpi_obs, 0.05)
+        cpi_eff = np.maximum(cpi_eff, 0.05)
+        inact = ~act
+        cpi_obs[inact] = base[inact]
+        cpi_eff[inact] = base[inact]
+        table.cpi[:] = cpi_obs
+        table.cpi_eff[:] = cpi_eff
+        table.mpki[:] = np.where(
+            act, table.mpki_min + (table.mpki_max - table.mpki_min) * mf, 0.0
+        )
+        table.mem_bytes[:] = np.where(act, bwd * bw_scale * 1e9 * dt, 0.0)
+
     def _jitter_scale(
         self, stall: float, extra_miss: Mapping[Hashable, float]
     ) -> float:

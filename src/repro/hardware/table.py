@@ -1,0 +1,288 @@
+"""Struct-of-arrays mirror of one host's guests — the columnar data plane.
+
+Every fluid tick the scalar path (`PhysicalHost.step_local`) rebuilds
+per-VM demand/request/profile dicts and dataclasses just so the four
+allocators can loop over them in pure Python.  The :class:`GuestTable`
+replaces all of that with preallocated ndarray *columns*, one row per
+guest in sorted-name order (exactly the ``sorted(self._guests)`` order
+the scalar path iterates, so exact left-to-right float reductions over
+rows reproduce the scalar sums bit for bit):
+
+* guests write their demand/cap/profile fields **in place** each tick
+  (:meth:`repro.virt.vm.VM.publish_row` — no per-tick dict or dataclass
+  construction, and an idle guest whose columns are already zero writes
+  nothing at all);
+* the vectorized kernels (``allocate_cpu_table``,
+  ``BlockDevice.allocate_table``, ``MemorySystem.evaluate_table``) read
+  demand columns and write result columns;
+* :meth:`emit_grants` folds the result columns back into one reusable
+  :class:`~repro.hardware.resources.ResourceGrant` per row (grants are
+  consumed synchronously during delivery and never retained, so mutating
+  them in place is safe).
+
+Idle handling is numeric, not identity-based: a ``ZERO_DEMAND`` row is an
+all-zero row, and the kernels' boolean masks (``demand > 0`` and friends)
+produce bit-identical outcomes to the scalar ``is IDLE_REQUEST`` /
+``is IDLE_MEM_REQUEST`` special cases.  The scalar implementations remain
+as the *oracles*: the Hypothesis suite in
+``tests/property/test_dataplane_equivalence.py`` holds the two paths
+bitwise equal, and ``bench/micro.py``'s ``dataplane`` benchmark times one
+against the other.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional
+
+import numpy as np
+
+from repro.hardware.resources import ResourceGrant, ZERO_DEMAND
+
+__all__ = ["GuestTable", "seq_sum"]
+
+_INF = float("inf")
+
+
+def seq_sum(values: np.ndarray) -> float:
+    """Exact left-to-right sum of a float column.
+
+    Python's ``sum`` over a list adds strictly left to right — the same
+    association order as the scalar path's ``sum(dict.values())`` over
+    name-ordered dicts — whereas ``ndarray.sum`` uses pairwise summation
+    and may differ in the last ulp for eight or more rows.  Byte-identity
+    of every figure hinges on using this everywhere the scalar path
+    summed a per-guest dict.
+    """
+    return sum(values.tolist())
+
+
+def _generic_publisher(guest) -> Callable:
+    """Per-tick column writer for a plain ``Guest`` protocol object.
+
+    Mirrors exactly what ``step_local`` reads from a guest each tick:
+    ``poll_demand``, ``perf_profile``, ``cpu_cap_cores`` and ``io_caps``.
+    ``VM`` instances bypass this via their own ``publish_row`` fast path.
+    """
+
+    def publish(table: "GuestTable", i: int) -> int:
+        d = guest.poll_demand()
+        prof = guest.perf_profile()
+        if prof is not table.profiles[i]:
+            table.set_profile(i, prof)
+        if d is ZERO_DEMAND:
+            if table.row_active[i]:
+                table.zero_row(i)
+            return 1
+        table.row_active[i] = True
+        cap = guest.cpu_cap_cores()
+        table.cpu_cap[i] = _INF if cap is None else cap
+        iops_cap, bps_cap = guest.io_caps()
+        table.iops_cap[i] = _INF if iops_cap is None else iops_cap
+        table.bps_cap[i] = _INF if bps_cap is None else bps_cap
+        table.cpu_demand[i] = d.cpu_cores
+        table.read_iops[i] = d.read_iops
+        table.write_iops[i] = d.write_iops
+        table.read_bps[i] = d.read_bytes_ps
+        table.write_bps[i] = d.write_bytes_ps
+        table.mem_bw[i] = d.mem_bw_gbps
+        table.llc_ws[i] = d.llc_ws_mb
+        table.flows[i] = d.flows
+        return 2
+
+    return publish
+
+
+class GuestTable:
+    """Columnar per-host guest state: demands, caps, profiles, results.
+
+    Rows are kept in sorted-name order and rebuilt only on attach/detach
+    (rare); between rebuilds every column is written in place.  Row
+    publishers return a per-row code — 0: idle and driverless/finished
+    (delivery skippable, an all-zero grant is an exact no-op), 1: idle
+    but the driver is alive (must still be delivered to, e.g. a timed
+    driver advancing through an off-episode), 2: active.
+    """
+
+    def __init__(self) -> None:
+        self.dirty = True
+        self.rebuild({})
+
+    # ------------------------------------------------------------- structure
+    def rebuild(self, guests: Mapping[str, object]) -> None:
+        """Re-derive rows from a host's guest mapping (sorted by name)."""
+        names = sorted(guests)
+        n = len(names)
+        self.names: List[str] = names
+        self.guests = [guests[name] for name in names]
+        self.n = n
+        # Demand columns (rates), written in place by guests each tick.
+        self.cpu_demand = np.zeros(n)
+        self.read_iops = np.zeros(n)
+        self.write_iops = np.zeros(n)
+        self.read_bps = np.zeros(n)
+        self.write_bps = np.zeros(n)
+        self.mem_bw = np.zeros(n)
+        self.llc_ws = np.zeros(n)
+        # Static fair-share weights (vCPU counts are immutable post-boot).
+        self.weight = np.asarray(
+            [float(g.vcpus) for g in self.guests], dtype=float
+        ) if n else np.zeros(0)
+        # Caps: +inf encodes "uncapped" (min/max against inf is exact).
+        self.cpu_cap = np.full(n, _INF)
+        self.iops_cap = np.full(n, _INF)
+        self.bps_cap = np.full(n, _INF)
+        # Perf-profile columns, refreshed only on profile-object change.
+        self.base_cpi = np.ones(n)
+        self.llc_sens = np.zeros(n)
+        self.bw_sens = np.zeros(n)
+        self.mpki_min = np.zeros(n)
+        self.mpki_max = np.zeros(n)
+        self.profiles: List[Optional[object]] = [None] * n
+        # Result columns, written by the kernels.
+        self.cpu_grant = np.zeros(n)
+        self.read_ops = np.zeros(n)
+        self.write_ops = np.zeros(n)
+        self.read_bytes = np.zeros(n)
+        self.write_bytes = np.zeros(n)
+        self.io_wait_ms = np.zeros(n)
+        self.cpi = np.ones(n)
+        self.cpi_eff = np.ones(n)
+        self.mpki = np.zeros(n)
+        self.mem_bytes = np.zeros(n)
+        # Per-row object state.
+        self.row_active = [False] * n      # demand columns currently nonzero
+        self.deliver = [False] * n         # deliver this row's grant this tick
+        self.flows = [()] * n              # NetFlowDemand tuples, per row
+        self.flow_rows: List[int] = []     # rows with at least one flow
+        self.grants = [ResourceGrant(dt=0.0) for _ in range(n)]
+        self._pubs = [
+            getattr(g, "publish_row", None) or _generic_publisher(g)
+            for g in self.guests
+        ]
+        self.idle_valid = False            # grants currently hold idle values
+        self._grant_dt = -1.0
+        self.dirty = False
+
+    # --------------------------------------------------------------- per-row
+    def set_profile(self, i: int, prof) -> None:
+        """Refresh one row's profile columns (profile object changed)."""
+        self.profiles[i] = prof
+        self.base_cpi[i] = prof.base_cpi
+        self.llc_sens[i] = prof.llc_sensitivity
+        self.bw_sens[i] = prof.bw_sensitivity
+        self.mpki_min[i] = prof.mpki_min
+        self.mpki_max[i] = prof.mpki_max
+        self.idle_valid = False
+
+    def zero_row(self, i: int) -> None:
+        """Zero one row's demand columns (guest went idle)."""
+        self.cpu_demand[i] = 0.0
+        self.read_iops[i] = 0.0
+        self.write_iops[i] = 0.0
+        self.read_bps[i] = 0.0
+        self.write_bps[i] = 0.0
+        self.mem_bw[i] = 0.0
+        self.llc_ws[i] = 0.0
+        self.flows[i] = ()
+        self.row_active[i] = False
+
+    # ---------------------------------------------------------------- refresh
+    def refresh(self) -> bool:
+        """Have every guest publish its row; returns True when all idle."""
+        flow_rows = self.flow_rows
+        if flow_rows:
+            flow_rows.clear()
+        deliver = self.deliver
+        flows = self.flows
+        all_idle = True
+        for i, publish in enumerate(self._pubs):
+            code = publish(self, i)
+            if code == 2:
+                deliver[i] = True
+                all_idle = False
+                if flows[i]:
+                    flow_rows.append(i)
+            else:
+                deliver[i] = code == 1
+        return all_idle
+
+    # ----------------------------------------------------------------- grants
+    def emit_grants(self, dt: float, speed_factor: float) -> None:
+        """Fold result columns into the per-row reusable grants."""
+        coresec = self.cpu_grant * dt
+        effective = coresec * self.base_cpi / self.cpi_eff * speed_factor
+        cs = coresec.tolist()
+        eff = effective.tolist()
+        cpi = self.cpi.tolist()
+        mpki = self.mpki.tolist()
+        ro = self.read_ops.tolist()
+        wo = self.write_ops.tolist()
+        rb = self.read_bytes.tolist()
+        wb = self.write_bytes.tolist()
+        wait = self.io_wait_ms.tolist()
+        mb = self.mem_bytes.tolist()
+        for i, g in enumerate(self.grants):
+            g.dt = dt
+            g.cpu_coresec = cs[i]
+            g.effective_coresec = eff[i]
+            g.cpi = cpi[i]
+            g.mpki = mpki[i]
+            g.read_ops = ro[i]
+            g.write_ops = wo[i]
+            g.read_bytes = rb[i]
+            g.write_bytes = wb[i]
+            g.io_wait_ms_per_op = wait[i]
+            g.mem_bytes = mb[i]
+            if g.net_bytes:
+                g.net_bytes.clear()
+        self.idle_valid = False
+
+    def emit_idle_grants(self, dt: float) -> None:
+        """All-zero grants with ``cpi = base_cpi`` (the all-idle fast path).
+
+        Skipped entirely when the previous tick already emitted idle
+        grants at the same ``dt`` and no profile changed since — on a
+        quiescent host the grants are already correct.
+        """
+        if self.idle_valid and self._grant_dt == dt:
+            return
+        base = self.base_cpi.tolist()
+        for i, g in enumerate(self.grants):
+            g.dt = dt
+            g.cpu_coresec = 0.0
+            g.effective_coresec = 0.0
+            g.cpi = base[i]
+            g.mpki = 0.0
+            g.read_ops = 0.0
+            g.write_ops = 0.0
+            g.read_bytes = 0.0
+            g.write_bytes = 0.0
+            g.io_wait_ms_per_op = 0.0
+            g.mem_bytes = 0.0
+            if g.net_bytes:
+                g.net_bytes.clear()
+        self.idle_valid = True
+        self._grant_dt = dt
+
+    def adopt_scalar(self, res) -> None:
+        """Mirror a scalar ``HostStepResult`` into the table.
+
+        Fallback for hosts the vectorized path does not cover (NUMA
+        memory systems pin VMs to sockets inside ``evaluate``): the
+        scalar step already ran; only the per-row grant/flow/delivery
+        views need to line up for the cluster assembler.
+        """
+        grants = res.grants
+        demands = res.demands
+        self.flow_rows.clear()
+        for i, name in enumerate(self.names):
+            self.grants[i] = grants[name]
+            self.deliver[i] = True
+            flows = demands[name].flows
+            self.flows[i] = flows
+            if flows:
+                self.flow_rows.append(i)
+        self.idle_valid = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GuestTable(rows={self.n}, dirty={self.dirty})"

@@ -324,6 +324,18 @@ class Simulator:
 
     # ------------------------------------------------------------- internals
     def _arm_tick(self, at: float) -> None:
+        ev = self._tick_event
+        if ev is not None and ev._sim is None and not ev.cancelled:
+            # Recycle the just-fired tick event instead of allocating a
+            # fresh one every dt.  At most one tick event ever sits on the
+            # heap, so reusing its seq cannot change any (time, priority,
+            # seq) tie-break: ticks win same-instant ties on priority
+            # alone, and user events keep their relative seq order.
+            ev.time = float(at)
+            ev._key = (ev.time, ev.priority, ev.seq)
+            ev._sim = self
+            heapq.heappush(self._heap, ev)
+            return
         self._tick_event = self.schedule_at(
             at, self._do_tick, name="fluid-tick", priority=TICK_PRIORITY
         )

@@ -43,6 +43,8 @@ class Cluster:
         sim.add_stepper(self)
         #: Count of fluid steps executed (diagnostics).
         self.steps = 0
+        # Hosts sorted by name, cached across steps (hosts are append-only).
+        self._sorted_hosts: Optional[List[PhysicalHost]] = None
 
     # ----------------------------------------------------------------- hosts
     def add_host(self, name: str, spec: Optional[HostSpec] = None) -> PhysicalHost:
@@ -53,6 +55,7 @@ class Cluster:
         self.hosts[name] = host
         self._placement[name] = {}
         self.fabric.add_host(name, host.spec.nic.bytes_per_s)
+        self._sorted_hosts = None
         return host
 
     def add_hosts(self, count: int, prefix: str = "host", spec: Optional[HostSpec] = None) -> List[PhysicalHost]:
@@ -112,46 +115,66 @@ class Cluster:
 
     # ------------------------------------------------------------------ step
     def step(self, dt: float) -> None:
-        """One fluid step: host-local allocation, fabric, grant delivery."""
-        results = {
-            name: host.step_local(dt)
-            for name, host in sorted(self.hosts.items())
-        }
+        """One fluid step: host-local allocation, fabric, grant delivery.
 
-        # Resolve network-flow demands against the fabric.
+        Runs the columnar data plane — each host steps its
+        :class:`~repro.hardware.table.GuestTable` in place — then resolves
+        flows through the fabric and delivers the tables' reusable grants
+        to the rows marked deliverable (rows with no live driver are
+        skipped: an all-zero grant is an exact cgroup no-op).
+        """
+        hosts = self._sorted_hosts
+        if hosts is None:
+            hosts = self._sorted_hosts = [
+                host for _, host in sorted(self.hosts.items())
+            ]
+        tables = [host.step_table(dt) for host in hosts]
+
+        # Resolve network-flow demands against the fabric, in the same
+        # host-by-host, row-by-row order the scalar path emitted them.
         flows: List[Flow] = []
-        flow_owners: List[str] = []
-        for host_name, res in results.items():
-            for demander, fd in res.flow_demands:
-                peer = self.vms.get(fd.peer_vm)
-                if peer is None or peer.host_name is None:
-                    continue  # peer gone (e.g. destroyed mid-transfer)
-                if fd.direction == "out":
-                    src_vm, dst_vm = demander, fd.peer_vm
-                    src_host, dst_host = host_name, peer.host_name
-                else:
-                    src_vm, dst_vm = fd.peer_vm, demander
-                    src_host, dst_host = peer.host_name, host_name
-                flows.append(
-                    Flow(
-                        src_vm=src_vm,
-                        dst_vm=dst_vm,
-                        src_host=src_host,
-                        dst_host=dst_host,
-                        bytes_per_s=fd.bytes_per_s,
+        flow_owners: List[tuple] = []
+        vms = self.vms
+        for host, tbl in zip(hosts, tables):
+            host_name = host.name
+            names = tbl.names
+            row_flows = tbl.flows
+            for i in tbl.flow_rows:
+                demander = names[i]
+                for fd in row_flows[i]:
+                    peer = vms.get(fd.peer_vm)
+                    if peer is None or peer.host_name is None:
+                        continue  # peer gone (e.g. destroyed mid-transfer)
+                    if fd.direction == "out":
+                        src_vm, dst_vm = demander, fd.peer_vm
+                        src_host, dst_host = host_name, peer.host_name
+                    else:
+                        src_vm, dst_vm = fd.peer_vm, demander
+                        src_host, dst_host = peer.host_name, host_name
+                    flows.append(
+                        Flow(
+                            src_vm=src_vm,
+                            dst_vm=dst_vm,
+                            src_host=src_host,
+                            dst_host=dst_host,
+                            bytes_per_s=fd.bytes_per_s,
+                        )
                     )
-                )
-                flow_owners.append((host_name, demander, fd.peer_vm))
+                    flow_owners.append((tbl, i, fd.peer_vm))
 
         delivered = self.fabric.allocate(flows, dt)
-        for (host_name, demander, peer), got in zip(flow_owners, delivered):
-            grant = results[host_name].grants[demander]
-            grant.net_bytes[peer] = grant.net_bytes.get(peer, 0.0) + got
+        for (tbl, i, peer), got in zip(flow_owners, delivered):
+            nb = tbl.grants[i].net_bytes
+            nb[peer] = nb.get(peer, 0.0) + got
 
         # Deliver grants.
-        for host_name, res in results.items():
-            for vm_name, grant in res.grants.items():
-                self.vms[vm_name].deliver(grant)
+        for tbl in tables:
+            deliver = tbl.deliver
+            grants = tbl.grants
+            names = tbl.names
+            for i in range(tbl.n):
+                if deliver[i]:
+                    vms[names[i]].deliver(grants[i])
         self.steps += 1
 
     # ------------------------------------------------------------- internals

@@ -122,6 +122,64 @@ class VM:
             return _DEFAULT_PROFILE
         return getattr(self.driver, "profile", _DEFAULT_PROFILE)
 
+    def publish_row(self, table, i: int) -> int:
+        """Write this VM's demand/cap/profile fields into row ``i``.
+
+        Columnar counterpart of ``poll_demand``/``cpu_cap_cores``/
+        ``io_caps``/``perf_profile``: one fused pass that touches the
+        driver exactly once (``demand()`` may be stateful) and constructs
+        nothing.  Returns the row's delivery code — 0: no live driver
+        (an all-zero grant would be an exact no-op, delivery skippable),
+        1: live driver polled ``ZERO_DEMAND`` (must still consume the
+        zero grant — episodic drivers advance through off-phases there),
+        2: active demand published.
+        """
+        driver = self.driver
+        if driver is None:
+            prof = _DEFAULT_PROFILE
+            if prof is not table.profiles[i]:
+                table.set_profile(i, prof)
+            if table.row_active[i]:
+                table.zero_row(i)
+            return 0
+        if getattr(driver, "finished", False):
+            prof = getattr(driver, "profile", _DEFAULT_PROFILE)
+            if prof is not table.profiles[i]:
+                table.set_profile(i, prof)
+            if table.row_active[i]:
+                table.zero_row(i)
+            return 0
+        d = driver.demand()
+        # Profile is read *after* demand(): some drivers (e.g. the
+        # framework CompositeDriver) blend their profile with weights
+        # cached by the latest demand() call, and the scalar path polls
+        # all demands before snapshotting profiles.
+        prof = getattr(driver, "profile", _DEFAULT_PROFILE)
+        if prof is not table.profiles[i]:
+            table.set_profile(i, prof)
+        if d is ZERO_DEMAND:
+            if table.row_active[i]:
+                table.zero_row(i)
+            return 1
+        table.row_active[i] = True
+        quota = self.cgroup.cpu.quota_cores
+        vcpus = float(self.vcpus)
+        table.cpu_cap[i] = vcpus if quota is None else min(quota, vcpus)
+        thr = self.cgroup.throttle
+        iops_cap = thr.iops_cap
+        bps_cap = thr.bps_cap
+        table.iops_cap[i] = float("inf") if iops_cap is None else iops_cap
+        table.bps_cap[i] = float("inf") if bps_cap is None else bps_cap
+        table.cpu_demand[i] = d.cpu_cores
+        table.read_iops[i] = d.read_iops
+        table.write_iops[i] = d.write_iops
+        table.read_bps[i] = d.read_bytes_ps
+        table.write_bps[i] = d.write_bytes_ps
+        table.mem_bw[i] = d.mem_bw_gbps
+        table.llc_ws[i] = d.llc_ws_mb
+        table.flows[i] = d.flows
+        return 2
+
     # ------------------------------------------------------------- delivery
     def set_host(self, host_name: str, freq_hz: float, boot_time: float) -> None:
         """Record placement (called by the cluster on boot/migration)."""

@@ -1,0 +1,313 @@
+"""Property tests: the columnar data plane matches the scalar oracle.
+
+One host is stepped two ways over randomized guest schedules — the
+vectorized ``PhysicalHost.step_table`` (ndarray columns + batched
+kernels) against ``step_local`` (the per-tick dict/dataclass path it
+replaced, kept as the oracle) — and every grant field must be *bitwise*
+equal, along with the host gauges and the disk's lifetime counters.  The
+schedules deliberately cover the shapes that earned special cases in
+the kernels: idle episodes and all-idle ticks (the cached idle-grant
+fast path), drivers that finish mid-run, driverless VMs, cgroup CPU
+quotas and blkio throttles flipping between ticks, all-zero active
+demands, single-guest and empty hosts, and profiles that change *inside*
+``demand()`` (the CompositeDriver pattern: the profile must be read
+after the demand poll, never before).
+
+The network fabric gets its own comparison against the scalar loop
+preserved in :func:`repro.bench.naive.naive_fabric_allocate`, and the
+monitor's preallocated sample buffers are checked across cumulative-
+counter resets.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.naive import naive_fabric_allocate
+from repro.hardware.network import Flow, NetworkFabric
+from repro.hardware.resources import (
+    NetFlowDemand,
+    PerfProfile,
+    ResourceDemand,
+    ZERO_DEMAND,
+)
+from repro.hardware.specs import R630
+from repro.sim.rng import RngRegistry
+from repro.virt.vm import VM
+
+
+# --------------------------------------------------------------- strategies
+_rates = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+_small = st.floats(min_value=0.0, max_value=32.0, allow_nan=False)
+
+_profiles = st.builds(
+    PerfProfile,
+    base_cpi=st.floats(min_value=0.3, max_value=3.0, allow_nan=False),
+    llc_sensitivity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    bw_sensitivity=st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    mpki_min=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    mpki_max=st.floats(min_value=2.0, max_value=12.0, allow_nan=False),
+)
+
+_demands = st.one_of(
+    st.just(None),  # ZERO_DEMAND tick (idle episode)
+    st.builds(
+        ResourceDemand,
+        cpu_cores=_small,
+        read_iops=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        write_iops=st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+        read_bytes_ps=_rates,
+        write_bytes_ps=_rates,
+        mem_bw_gbps=_small,
+        llc_ws_mb=_small,
+    ),
+)
+
+_caps = st.one_of(st.none(), st.floats(min_value=0.0, max_value=8.0,
+                                       allow_nan=False))
+
+_guest_specs = st.fixed_dictionaries({
+    "vcpus": st.integers(min_value=1, max_value=4),
+    "driverless": st.booleans(),
+    "schedule": st.lists(
+        st.tuples(_demands, st.integers(min_value=0, max_value=2)),
+        min_size=0, max_size=6,
+    ),
+    "profiles": st.lists(_profiles, min_size=3, max_size=3),
+    "quota": _caps,
+    "iops_cap": st.one_of(st.none(), st.floats(min_value=0.0, max_value=5e4,
+                                               allow_nan=False)),
+    "bps_cap": st.one_of(st.none(), st.floats(min_value=0.0, max_value=1e9,
+                                              allow_nan=False)),
+    "flow_peer": st.one_of(st.none(), st.integers(min_value=0, max_value=5)),
+})
+
+
+class _ScriptedDriver:
+    """Replays a per-tick schedule; finishes when it runs out.
+
+    Each schedule entry is ``(demand_or_None, profile_index)`` — the
+    profile attribute is switched *inside* ``demand()``, like the
+    framework's CompositeDriver whose blend weights come from the demand
+    poll.  The scalar oracle reads profiles after polling all demands;
+    the columnar path must match.
+    """
+
+    def __init__(self, schedule, profiles) -> None:
+        self._schedule = list(schedule)
+        self._profiles = profiles
+        self._i = 0
+        self.profile = profiles[0]
+
+    @property
+    def finished(self) -> bool:
+        return self._i >= len(self._schedule)
+
+    def demand(self):
+        d, pi = self._schedule[self._i]
+        self._i += 1
+        self.profile = self._profiles[pi]
+        return ZERO_DEMAND if d is None else d
+
+    def consume(self, grant) -> None:
+        pass
+
+
+def _build_host(specs, tag, vector_min_rows=None):
+    from repro.hardware.host import PhysicalHost
+
+    host = PhysicalHost("prop0", R630, RngRegistry(23))
+    if vector_min_rows is not None:
+        host.vector_min_rows = vector_min_rows
+    vms = []
+    for i, spec in enumerate(specs):
+        vm = VM(f"vm{i:02d}", vcpus=spec["vcpus"])
+        vm.cgroup.cpu.quota_cores = spec["quota"]
+        vm.cgroup.throttle.iops_cap = spec["iops_cap"]
+        vm.cgroup.throttle.bps_cap = spec["bps_cap"]
+        if not spec["driverless"]:
+            schedule = spec["schedule"]
+            if spec["flow_peer"] is not None and schedule:
+                d, pi = schedule[0]
+                if d is not None:
+                    d = ResourceDemand(
+                        cpu_cores=d.cpu_cores, read_iops=d.read_iops,
+                        write_iops=d.write_iops, read_bytes_ps=d.read_bytes_ps,
+                        write_bytes_ps=d.write_bytes_ps,
+                        mem_bw_gbps=d.mem_bw_gbps, llc_ws_mb=d.llc_ws_mb,
+                        flows=(NetFlowDemand(
+                            peer_vm=f"vm{spec['flow_peer']:02d}",
+                            bytes_per_s=1e6, direction="in"),),
+                    )
+                    schedule = [(d, pi)] + schedule[1:]
+            vm.attach_workload(_ScriptedDriver(schedule, spec["profiles"]))
+        host.attach(vm)
+        vms.append(vm)
+    return host, vms
+
+
+_GRANT_FIELDS = ("cpu_coresec", "effective_coresec", "cpi", "mpki",
+                 "read_ops", "write_ops", "read_bytes", "write_bytes",
+                 "io_wait_ms_per_op", "mem_bytes")
+
+
+@settings(max_examples=80, deadline=None)
+@given(specs=st.lists(_guest_specs, min_size=0, max_size=5),
+       ticks=st.integers(min_value=1, max_value=8),
+       force_vector=st.booleans())
+def test_step_table_matches_step_local_bitwise(specs, ticks, force_vector):
+    # force_vector=True drops the small-host dispatch threshold to zero
+    # so the vectorized kernels run even at these row counts; False
+    # exercises the default dispatch (scalar fallback while active, the
+    # table path across idle episodes) and its transitions.
+    fast_host, _ = _build_host(
+        specs, "fast", vector_min_rows=0 if force_vector else None)
+    slow_host, _ = _build_host(specs, "slow")
+    for _ in range(ticks):
+        table = fast_host.step_table(1.0)
+        res = slow_host.step_local(1.0)
+        assert table.names == sorted(res.grants)
+        for i, name in enumerate(table.names):
+            g, s = table.grants[i], res.grants[name]
+            for f in _GRANT_FIELDS:
+                assert getattr(g, f) == getattr(s, f), (name, f)
+        # Flow demands surface in the same (row-order, demand-order)
+        # sequence the scalar path emitted them.
+        got_flows = [
+            (table.names[i], fd)
+            for i in table.flow_rows for fd in table.flows[i]
+        ]
+        assert got_flows == res.flow_demands
+        assert fast_host.cpu_utilization == slow_host.cpu_utilization
+        assert fast_host.disk.utilization == slow_host.disk.utilization
+        assert (fast_host.disk.total_ops_served
+                == slow_host.disk.total_ops_served)
+        assert (fast_host.disk.total_bytes_served
+                == slow_host.disk.total_bytes_served)
+        assert (fast_host.memsys.bw_utilization
+                == slow_host.memsys.bw_utilization)
+
+
+# ------------------------------------------------------------------ fabric
+_flow_lists = st.lists(
+    st.builds(
+        Flow,
+        src_vm=st.integers(min_value=0, max_value=30).map(lambda i: f"s{i}"),
+        dst_vm=st.integers(min_value=0, max_value=30).map(lambda i: f"d{i}"),
+        src_host=st.integers(min_value=0, max_value=5).map(lambda i: f"h{i}"),
+        dst_host=st.integers(min_value=0, max_value=5).map(lambda i: f"h{i}"),
+        bytes_per_s=st.one_of(
+            st.just(0.0),
+            st.floats(min_value=0.0, max_value=5e9, allow_nan=False),
+        ),
+    ),
+    max_size=40,
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(flows=_flow_lists,
+       dt=st.sampled_from([0.25, 0.5, 1.0]),
+       nic=st.floats(min_value=1e8, max_value=1e10, allow_nan=False))
+def test_fabric_matches_naive_loop_bitwise(flows, dt, nic):
+    nics = {f"h{i}": nic for i in range(6)}
+    fabric = NetworkFabric(nics)
+    got = fabric.allocate(flows, dt)
+    want, want_util = naive_fabric_allocate(nics, flows, dt)
+    assert got == want
+    assert fabric.utilization == want_util
+    for vals in fabric.utilization.values():
+        assert all(math.isfinite(v) for v in vals)
+
+
+def test_fabric_rejects_negative_and_unknown_like_naive():
+    nics = {"h0": 1e9, "h1": 1e9}
+    fabric = NetworkFabric(nics)
+    bad = [Flow("a", "b", "h0", "h1", -1.0)]
+    for op in (lambda: fabric.allocate(bad, 1.0),
+               lambda: naive_fabric_allocate(nics, bad, 1.0)):
+        try:
+            op()
+        except ValueError as e:
+            assert "negative flow demand" in str(e)
+        else:  # pragma: no cover - defends the test itself
+            raise AssertionError("negative demand accepted")
+    unknown = [Flow("a", "b", "h0", "nope", 1.0)]
+    for op in (lambda: fabric.allocate(unknown, 1.0),
+               lambda: naive_fabric_allocate(nics, unknown, 1.0)):
+        try:
+            op()
+        except KeyError as e:
+            assert "nope" in str(e)
+        else:  # pragma: no cover
+            raise AssertionError("unknown host accepted")
+
+
+# ----------------------------------------------------------------- monitor
+class _FakeDomain:
+    def __init__(self, name, counters) -> None:
+        self._name = name
+        self._counters = counters
+
+    def name(self):
+        return self._name
+
+    def blkioStats(self):
+        c = self._counters
+        return {"io_wait_time_ms": c["wait"], "io_serviced": c["ops"],
+                "io_service_bytes": c["bytes"]}
+
+    def perfStats(self):
+        c = self._counters
+        return {"cycles": c["cycles"], "instructions": c["instr"],
+                "llc_misses": c["llc"]}
+
+    def cpuStats(self):
+        return {"cpu_time_core_seconds": self._counters["cpu"]}
+
+
+class _FakeConn:
+    def __init__(self, domains) -> None:
+        self._domains = domains
+
+    def listAllDomains(self):
+        return self._domains
+
+
+def test_monitor_reuses_buffers_and_survives_counter_reset():
+    from repro.core.config import PerfCloudConfig
+    from repro.core.monitor import PerformanceMonitor
+
+    counters = {"wait": 0.0, "ops": 0.0, "bytes": 0.0, "cycles": 0.0,
+                "instr": 0.0, "llc": 0.0, "cpu": 0.0}
+    conn = _FakeConn([_FakeDomain("vm0", counters)])
+    mon = PerformanceMonitor(conn, PerfCloudConfig())
+
+    def advance(now):
+        for k in counters:
+            counters[k] += 10.0
+        return mon.sample(now)
+
+    assert advance(5.0) == {}          # first observation: no delta yet
+    out = advance(10.0)                # buffers allocated this interval
+    assert set(out) == {"vm0"}
+    assert mon.stats.sample_buffers_reused == 0
+    first = out["vm0"]
+    out = advance(15.0)                # steady state: everything reused
+    assert mon.stats.sample_buffers_reused == 1
+    # Identical deltas at identical EWMA state after two equal intervals
+    # mean the reused-buffer sample must equal a fresh-dict one field for
+    # field (EWMA of a constant stream is that constant).
+    assert out["vm0"].cpi == first.cpi
+    assert out["vm0"].iowait_ratio == first.iowait_ratio
+
+    # A counter running backwards (guest reboot) restarts the cursor
+    # without emitting garbage, and the buffers keep working after.
+    counters["cycles"] -= 1000.0
+    assert advance(20.0) == {}
+    assert mon.stats.counter_resets == 1
+    out = advance(25.0)
+    assert set(out) == {"vm0"}
+    assert mon.stats.counter_resets == 1
+    assert mon.stats.sample_buffers_reused >= 3
